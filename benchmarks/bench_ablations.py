@@ -1,0 +1,205 @@
+"""Ablations of the paper's design decisions (DESIGN.md Section 5).
+
+Each ablation removes or weakens one methodological choice and shows
+the distortion the paper's design avoids:
+
+1. **Broker mediator** (Section III-A): inserting a Kafka-style broker
+   between generators and SUT caps measurable throughput at the broker,
+   not the SUT, and pollutes latency -- the Yahoo-benchmark bottleneck.
+2. **Coordinated omission** (Section IV-A): measuring only
+   processing-time latency under overload wildly underestimates the
+   user-visible latency.
+3. **Windowed event-time definition** (Definition 3): anchoring a
+   windowed output at anything other than the max contributing
+   event-time (e.g. the window start) pollutes latency with
+   window-buffering time.
+4. **Sustainability tolerance**: the sustainable rate is robust to the
+   exact queue-growth tolerance (2% vs 5%), i.e. the metric is
+   well-conditioned.
+5. **Spark batch interval** (Section VI-A tuning): smaller batches cut
+   latency but cannot sustain the same load; larger batches sustain it
+   with worse latency -- the trade-off motivating the paper's 4 s pick.
+"""
+
+import pytest
+
+from benchmarks.conftest import agg_spec, emit
+from repro.core.broker import BrokerSpec
+from repro.core.experiment import run_experiment
+from repro.core.generator import GeneratorConfig
+from repro.core.latency import EVENT_TIME, PROCESSING_TIME
+from repro.core.sustainable import (
+    SustainabilityCriteria,
+    find_sustainable_throughput,
+)
+from repro.engines.spark import SparkConfig
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_broker_mediator(benchmark):
+    """Ablation 1: the mediator becomes the bottleneck."""
+
+    def measure():
+        direct = run_experiment(agg_spec("flink", 2, profile=0.9e6))
+        brokered = run_experiment(
+            agg_spec("flink", 2, profile=0.9e6, broker=BrokerSpec())
+        )
+        return direct, brokered
+
+    direct, brokered = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "ablation_broker",
+        "Ablation: message broker between generator and SUT (Flink 2-node, "
+        "0.9 M/s offered)\n"
+        f"  direct   : ingest {direct.mean_ingest_rate / 1e6:.2f} M/s, "
+        f"event latency avg {direct.event_latency.mean:.2f} s\n"
+        f"  brokered : ingest {brokered.mean_ingest_rate / 1e6:.2f} M/s, "
+        f"event latency avg {brokered.event_latency.mean:.2f} s\n"
+        "  -> the broker (0.7 M/s forward capacity) caps the measurement and "
+        "its backlog pollutes latency, as in the Yahoo streaming benchmark.",
+    )
+    assert direct.mean_ingest_rate > 0.85e6
+    assert brokered.mean_ingest_rate < 0.75e6
+    assert brokered.event_latency.mean > 5 * direct.event_latency.mean
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_coordinated_omission(benchmark):
+    """Ablation 2: processing-time-only measurement under overload."""
+
+    def measure():
+        return run_experiment(
+            agg_spec(
+                "spark",
+                2,
+                profile=0.55e6,
+                duration_s=200.0,
+                generator=GeneratorConfig(
+                    instances=2, queue_capacity_seconds=1000.0
+                ),
+            )
+        )
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    under = result.event_latency.mean / max(
+        result.processing_latency.mean, 1e-9
+    )
+    emit(
+        "ablation_coordinated_omission",
+        "Ablation: coordinated omission (Spark 2-node, 1.4x overload)\n"
+        f"  processing-time latency avg : {result.processing_latency.mean:.2f} s\n"
+        f"  event-time latency avg      : {result.event_latency.mean:.2f} s\n"
+        f"  -> measuring inside the SUT underestimates latency {under:.1f}x.",
+    )
+    assert under > 2.0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_windowed_latency_definition(benchmark):
+    """Ablation 3: anchor windowed outputs at the window start instead."""
+
+    def measure():
+        result = run_experiment(
+            agg_spec(
+                "flink", 2, profile=0.4e6, duration_s=120.0, keep_outputs=True
+            )
+        )
+        return result, result.collector.outputs
+
+    result, outputs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    window_size = 8.0
+    post = [o for o in outputs if o.emit_time >= result.warmup_s]
+    definition3 = sum(o.event_time_latency for o in post) / len(post)
+    naive = sum(
+        o.emit_time - (o.window_end - window_size) for o in post
+    ) / len(post)
+    emit(
+        "ablation_latency_definition",
+        "Ablation: windowed event-time anchor (Flink 2-node, 0.4 M/s)\n"
+        f"  Definition 3 (max contributing event-time): avg "
+        f"{definition3:.2f} s\n"
+        f"  naive anchor (window start -> includes buffering): avg "
+        f"{naive:.2f} s\n"
+        "  -> without Definition 3, window-buffering time (up to the full "
+        "window size) pollutes the metric.",
+    )
+    assert naive > definition3 + 0.5 * window_size
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_sustainability_tolerance(benchmark):
+    """Ablation 4: the found rate is stable across tolerance settings."""
+
+    def measure():
+        rates = {}
+        for tol in (0.02, 0.05):
+            criteria = SustainabilityCriteria(max_occupancy_slope_frac=tol)
+            search = find_sustainable_throughput(
+                agg_spec("storm", 2),
+                high_rate=0.8e6,
+                rel_tol=0.05,
+                criteria=criteria,
+                max_trials=8,
+            )
+            rates[tol] = search.sustainable_rate
+        return rates
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "ablation_sustainability_tolerance",
+        "Ablation: queue-growth tolerance of the sustainability test "
+        "(Storm 2-node)\n"
+        + "\n".join(
+            f"  tolerance {tol:.0%}: sustainable {rate / 1e6:.2f} M/s"
+            for tol, rate in sorted(rates.items())
+        )
+        + "\n  -> the metric is well-conditioned in the tolerance.",
+    )
+    lo, hi = min(rates.values()), max(rates.values())
+    assert hi / max(lo, 1.0) < 1.25
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_spark_batch_interval(benchmark):
+    """Ablation 5: the batch-size throughput/latency trade-off."""
+
+    def measure():
+        out = {}
+        for batch_s in (2.0, 4.0, 8.0):
+            cfg = SparkConfig(batch_interval_s=batch_s)
+            search = find_sustainable_throughput(
+                agg_spec("spark", 2, engine_config=cfg),
+                high_rate=0.6e6,
+                rel_tol=0.06,
+                max_trials=7,
+            )
+            # Latency is reported just below the edge (92% of the found
+            # rate): at the exact maximum the residual queue drift
+            # dominates and masks the batch-interval effect.
+            probe = run_experiment(
+                agg_spec(
+                    "spark",
+                    2,
+                    profile=search.sustainable_rate * 0.92,
+                    engine_config=cfg,
+                )
+            )
+            out[batch_s] = (search.sustainable_rate, probe.event_latency.mean)
+        return out
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "ablation_spark_batch_interval",
+        "Ablation: Spark batch interval (2-node aggregation)\n"
+        + "\n".join(
+            f"  batch {batch_s:>3.0f} s: sustainable "
+            f"{rate / 1e6:.2f} M/s, avg latency {lat:.2f} s"
+            for batch_s, (rate, lat) in sorted(out.items())
+        )
+        + "\n  -> 'The smaller the batch size, the lower the latency and "
+        "throughput.'",
+    )
+    # Latency grows with batch size; throughput does not shrink.
+    assert out[2.0][1] < out[4.0][1] < out[8.0][1]
+    assert out[8.0][0] >= out[4.0][0] * 0.9
+    assert out[4.0][0] >= out[2.0][0] * 0.95

@@ -1,0 +1,76 @@
+"""Figure 10: per-node network and CPU usage, aggregation, 4-node.
+
+Each engine runs at its sustainable rate with the resource monitor on;
+we report per-node CPU load and network MB per interval, as the paper's
+top/bottom panel pairs do.
+
+Expected shape (paper): Flink is network-bound, so its CPU load is the
+lowest; "Storm and Spark ... use approximately 50% more CPU clock
+cycles than Flink", while Flink moves the most bytes.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import agg_spec, emit
+from repro.core.experiment import run_experiment
+
+DURATION_S = 200.0
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_resource_usage(benchmark, agg_sustainable_rates):
+    def measure():
+        runs = {}
+        for engine in ("storm", "spark", "flink"):
+            rate = agg_sustainable_rates[(engine, 4)]
+            runs[engine] = run_experiment(
+                agg_spec(
+                    engine,
+                    4,
+                    profile=rate,
+                    duration_s=DURATION_S,
+                    monitor_resources=True,
+                )
+            )
+        return runs
+
+    runs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        "Figure 10: resource usage, aggregation, 4-node, sustainable max",
+        f"{'engine':<8} {'mean CPU %':>10} {'mean net MB/interval':>22}",
+    ]
+    cpu = {}
+    net = {}
+    for engine, run in runs.items():
+        assert run.resources is not None
+        samples = [s for s in run.resources.samples if s.time >= run.warmup_s]
+        cpu[engine] = float(np.mean([s.cpu_load_pct for s in samples]))
+        net[engine] = float(np.mean([s.network_mb for s in samples]))
+        lines.append(f"{engine:<8} {cpu[engine]:>10.1f} {net[engine]:>22.1f}")
+    lines.append("")
+    lines.append("per-node CPU means (node0..node3):")
+    for engine, run in runs.items():
+        per_node = [
+            np.mean(
+                [
+                    s.cpu_load_pct
+                    for s in run.resources.node_series(node)
+                    if s.time >= run.warmup_s
+                ]
+            )
+            for node in range(4)
+        ]
+        lines.append(
+            f"  {engine:<7} " + " ".join(f"{v:6.1f}" for v in per_node)
+        )
+    emit("fig10_resource_usage", "\n".join(lines))
+
+    # Flink: least CPU, most network.
+    assert cpu["flink"] < cpu["storm"]
+    assert cpu["flink"] < cpu["spark"]
+    assert net["flink"] > net["storm"]
+    assert net["flink"] > net["spark"]
+    # Storm/Spark burn substantially more cycles (paper: ~50% more).
+    assert cpu["storm"] > 1.3 * cpu["flink"]
+    assert cpu["spark"] > 1.3 * cpu["flink"]

@@ -1,0 +1,78 @@
+"""Figure 11: Spark's scheduler delay vs throughput coupling.
+
+The paper shows that Spark initially over-ingests, the scheduler delay
+spikes, backpressure fires and the input rate is limited; thereafter
+every ingest spike echoes in the scheduler delay.  We run Spark at its
+sustainable rate and correlate the per-job scheduler delay with the
+driver-side ingest series.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import agg_spec, emit
+from repro.core.experiment import run_experiment
+from repro.core.metrics import TimeSeries
+from repro.core.report import series_table
+
+DURATION_S = 240.0
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_spark_scheduler_delay(benchmark, agg_sustainable_rates):
+    def measure():
+        rate = agg_sustainable_rates[("spark", 4)]
+        return run_experiment(
+            agg_spec("spark", 4, profile=rate, duration_s=DURATION_S)
+        )
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert not result.failed, result.failure
+
+    # Rebuild the scheduler-delay series from the engine job log.
+    job_log = result.diagnostics.get("jobs_run")
+    assert job_log and job_log > 10
+    # The diagnostics dict carries counters; the raw log is on the
+    # engine, which the driver released -- so re-run with direct access.
+    from repro.core.driver import BenchmarkDriver  # noqa: F401  (doc pointer)
+    from repro.core.experiment import ExperimentSpec
+    from repro.engines.spark import SparkEngine
+    import repro.core.experiment as experiment_mod
+
+    captured = {}
+    original = SparkEngine.diagnostics
+
+    def capturing_diagnostics(self):
+        captured["job_log"] = list(self.job_log)
+        return original(self)
+
+    SparkEngine.diagnostics = capturing_diagnostics
+    try:
+        rate = agg_sustainable_rates[("spark", 4)]
+        result = experiment_mod.run_experiment(
+            agg_spec("spark", 4, profile=rate, duration_s=DURATION_S)
+        )
+    finally:
+        SparkEngine.diagnostics = original
+
+    sched = TimeSeries()
+    for job in captured["job_log"]:
+        sched.append(job["started_at"], job["sched_delay"])
+    ingest = result.throughput.ingest_series
+    emit(
+        "fig11_spark_scheduler",
+        series_table(
+            "Figure 11: Spark scheduler delay (s) vs ingest rate (ev/s)",
+            {"sched delay": sched, "ingest rate": ingest},
+            bin_s=10.0,
+        ),
+    )
+
+    # Initial over-ingestion: the first measured pull rates exceed the
+    # post-warmup steady state (the controller then reins them in).
+    early = max(ingest.values[:10])
+    steady = np.mean(ingest.window(result.warmup_s).values)
+    assert early > steady * 1.04
+    # Scheduler delays exist and are batch-scale, not zero.
+    assert sched.mean() > 0.05
+    assert len(sched) > 20

@@ -1,0 +1,67 @@
+"""Figure 4: windowed-aggregation latency distributions over time.
+
+18 panels in the paper: {Storm, Spark, Flink} x {2, 4, 8 nodes} x
+{max, 90% throughput}.  Each panel here is the binned event-time
+latency series of one run at the corresponding rate; panels are printed
+as sparklines plus min/max ranges.
+
+Expected shape (paper): fluctuations shrink at 90% load everywhere;
+Storm/Flink hug zero with spikes, Spark shows stable upper and lower
+bounds set by the batch interval.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import MEASURE_DURATION_S, agg_spec, emit
+from repro.analysis.ascii_plots import render_panels
+from repro.core.experiment import run_experiment
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_latency_timeseries(benchmark, agg_sustainable_rates):
+    def measure():
+        panels = {}
+        runs = {}
+        for (engine, workers), rate in sorted(agg_sustainable_rates.items()):
+            for label, factor in (("max", 1.0), ("90%", 0.9)):
+                result = run_experiment(
+                    agg_spec(
+                        engine,
+                        workers,
+                        profile=rate * factor,
+                        duration_s=MEASURE_DURATION_S,
+                    )
+                )
+                key = f"{engine} {workers}-node {label}"
+                panels[key] = result.collector.binned_series(
+                    bin_s=5.0, start_time=result.warmup_s
+                )
+                runs[key] = result
+        return panels, runs
+
+    panels, runs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "fig4_agg_latency_timeseries",
+        "Figure 4: aggregation event-time latency over time (binned 5 s)\n"
+        + render_panels(panels, unit="s"),
+    )
+
+    # Shape: 90% load has smaller fluctuation (std of the binned series)
+    # than max load in the clear majority of panels.
+    calmer = 0
+    total = 0
+    for key in panels:
+        if not key.endswith("max"):
+            continue
+        partner = key.replace("max", "90%")
+        a = np.std(panels[key].values) if len(panels[key]) else 0.0
+        b = np.std(panels[partner].values) if len(panels[partner]) else 0.0
+        total += 1
+        if b <= a * 1.05:
+            calmer += 1
+    assert calmer >= total * 2 // 3, f"only {calmer}/{total} panels calmer at 90%"
+    # Spark's binned latency floor is far above Flink's (batch interval).
+    spark_floor = min(panels["spark 2-node max"].values)
+    flink_floor = min(panels["flink 2-node max"].values)
+    assert spark_floor > 5 * flink_floor

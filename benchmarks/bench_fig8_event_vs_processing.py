@@ -1,0 +1,52 @@
+"""Figure 8: event-time vs processing-time latency at sustainable load.
+
+The aggregation query (8s, 4s) on a 2-node cluster, each engine at its
+sustainable maximum -- the paper's Experiment 6.  Even without overload
+there is a visible difference between the two latencies: with Spark,
+"input tuples spend most of the time in driver queues" (receiver
+throttling), while Flink's two series nearly coincide.
+"""
+
+import pytest
+
+from benchmarks.conftest import MEASURE_DURATION_S, agg_spec, emit
+from repro.core.experiment import run_experiment
+from repro.core.latency import EVENT_TIME, PROCESSING_TIME
+from repro.core.report import latency_table
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_event_vs_processing(benchmark, agg_sustainable_rates):
+    def measure():
+        rows = {}
+        for engine in ("storm", "spark", "flink"):
+            rate = agg_sustainable_rates[(engine, 2)]
+            result = run_experiment(
+                agg_spec(engine, 2, profile=rate, duration_s=MEASURE_DURATION_S)
+            )
+            assert not result.failed, (engine, result.failure)
+            rows[(f"{engine} event-time", 2)] = result.event_latency
+            rows[(f"{engine} processing", 2)] = result.processing_latency
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "fig8_event_vs_processing",
+        latency_table(
+            "Figure 8: event-time vs processing-time latency, "
+            "aggregation (8s,4s), 2-node, sustainable max",
+            measured=rows,
+            workers=(2,),
+        ),
+    )
+
+    for engine in ("storm", "spark", "flink"):
+        event = rows[(f"{engine} event-time", 2)]
+        proc = rows[(f"{engine} processing", 2)]
+        # Processing time is a component of event time (Definition 1 vs 2).
+        assert event.mean >= proc.mean - 0.05, engine
+    # Deviation note (EXPERIMENTS.md): the paper attributes the largest
+    # sustainable-load gap to Spark's driver-queue waiting; in this
+    # reproduction the gap at the *found* maximum is engine-dependent
+    # run to run, and the Spark-specific queueing shows decisively only
+    # under overload (Figure 7).  No cross-engine ranking is asserted.

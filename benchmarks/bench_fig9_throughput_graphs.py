@@ -1,0 +1,57 @@
+"""Figure 9: throughput (data pull rate) over time.
+
+The aggregation query (8s, 4s) at sustainable rates; the series is the
+driver-side measurement at the queues -- "As we separate the throughput
+calculation clearly from the SUT, we retrieve this metric from the
+driver."
+
+Expected shape (paper): Storm pulls with strong fluctuations (immature
+on/off backpressure), Spark fluctuates at job/batch cadence, Flink is
+nearly flat ("Despite having a high data pull rate or throughput, Flink
+has less fluctuations").
+"""
+
+import pytest
+
+from benchmarks.conftest import MEASURE_DURATION_S, agg_spec, emit
+from repro.analysis.ascii_plots import render_panels
+from repro.analysis.stats import coefficient_of_variation
+from repro.core.experiment import run_experiment
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_throughput_graphs(benchmark, agg_sustainable_rates):
+    def measure():
+        runs = {}
+        for engine in ("storm", "spark", "flink"):
+            rate = agg_sustainable_rates[(engine, 4)]
+            runs[engine] = run_experiment(
+                agg_spec(engine, 4, profile=rate, duration_s=MEASURE_DURATION_S)
+            )
+        return runs
+
+    runs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    panels = {
+        engine: r.throughput.ingest_series.window(r.warmup_s)
+        for engine, r in runs.items()
+    }
+    cvs = {
+        engine: coefficient_of_variation(series.values)
+        for engine, series in panels.items()
+    }
+    text = [
+        "Figure 9: ingest (pull) rate over time, aggregation, 4-node, "
+        "sustainable max",
+        render_panels(panels, unit=" ev/s"),
+        "",
+        "pull-rate fluctuation (coefficient of variation):",
+    ]
+    text += [f"  {engine:<7} {cv:6.3f}" for engine, cv in sorted(cvs.items())]
+    emit("fig9_throughput_graphs", "\n".join(text))
+
+    for engine, run in runs.items():
+        assert not run.failed, (engine, run.failure)
+    # Flink's pull rate is the smoothest; Storm's the most fluctuating.
+    assert cvs["flink"] < cvs["spark"]
+    assert cvs["flink"] < cvs["storm"]
+    assert cvs["storm"] > 2 * cvs["flink"]

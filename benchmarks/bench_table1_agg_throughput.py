@@ -1,0 +1,49 @@
+"""Table I: sustainable throughput for windowed aggregations.
+
+Regenerates the paper's Table I by running the sustainable-throughput
+search (Definition 5) for Storm, Spark, and Flink on 2-, 4-, and 8-node
+deployments with the (8s, 4s) aggregation query.
+
+Expected shape (paper): Flink flat at ~1.2 M/s (network-bound at every
+size); Storm ~8% above Spark; both scale sublinearly.
+"""
+
+import pytest
+
+from benchmarks.conftest import WORKER_SWEEP, emit
+from repro.analysis.paper_values import PAPER_TABLE1_AGG_THROUGHPUT
+from repro.analysis.stats import within_factor
+from repro.core.report import throughput_table
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_agg_sustainable_throughput(benchmark, agg_sustainable_rates):
+    rates = benchmark.pedantic(
+        lambda: agg_sustainable_rates, rounds=1, iterations=1
+    )
+    table = throughput_table(
+        "Table I: sustainable throughput, windowed aggregation (8s, 4s)",
+        measured=rates,
+        paper=PAPER_TABLE1_AGG_THROUGHPUT,
+        workers=WORKER_SWEEP,
+    )
+    emit("table1_agg_throughput", table)
+
+    # Shape assertions (factor-2 tolerance on absolutes; strict ordering).
+    for key, paper_rate in PAPER_TABLE1_AGG_THROUGHPUT.items():
+        assert within_factor(rates[key], paper_rate, 2.0), (key, rates[key])
+    # Flink is network-bound and flat across sizes.
+    flink = [rates[("flink", w)] for w in WORKER_SWEEP]
+    assert max(flink) / min(flink) < 1.15
+    # Flink dominates both other engines everywhere.
+    for w in WORKER_SWEEP:
+        assert rates[("flink", w)] > rates[("storm", w)]
+        assert rates[("flink", w)] > rates[("spark", w)]
+    # Storm modestly above Spark (paper: ~8%).
+    for w in WORKER_SWEEP:
+        assert rates[("storm", w)] > 0.95 * rates[("spark", w)]
+    # Storm and Spark scale with cluster size.
+    for engine in ("storm", "spark"):
+        assert (
+            rates[(engine, 2)] < rates[(engine, 4)] < rates[(engine, 8)]
+        )

@@ -1,0 +1,69 @@
+"""Table II: latency statistics for windowed aggregations.
+
+Runs every engine at its measured sustainable-maximum rate and at 90%
+of it (exactly the paper's two workloads) and reports avg/min/max and
+the (90, 95, 99) quantiles of event-time latency, measured at the sink
+against generation timestamps.
+
+Expected shape (paper): Flink lowest (fractions of a second), Storm in
+the 1-2 s range *growing* with cluster size, Spark highest (~3-4 s,
+batch-dominated) but with the tightest spread and *shrinking* with
+cluster size; the 90% rows sit at or below the max-load rows.
+"""
+
+import pytest
+
+from benchmarks.conftest import MEASURE_DURATION_S, WORKER_SWEEP, agg_spec, emit
+from repro.analysis.paper_values import PAPER_TABLE2_AGG_LATENCY
+from repro.core.experiment import run_experiment
+from repro.core.report import latency_table
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_agg_latency(benchmark, agg_sustainable_rates):
+    def measure():
+        stats = {}
+        for (engine, workers), rate in agg_sustainable_rates.items():
+            for label, factor in ((engine, 1.0), (f"{engine}(90%)", 0.9)):
+                result = run_experiment(
+                    agg_spec(
+                        engine,
+                        workers,
+                        profile=rate * factor,
+                        duration_s=MEASURE_DURATION_S,
+                    )
+                )
+                assert not result.failed, (label, workers, result.failure)
+                stats[(label, workers)] = result.event_latency
+        return stats
+
+    stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = latency_table(
+        "Table II: event-time latency, windowed aggregation (max and 90% load)",
+        measured=stats,
+        paper=PAPER_TABLE2_AGG_LATENCY,
+        workers=WORKER_SWEEP,
+    )
+    emit("table2_agg_latency", table)
+
+    for w in WORKER_SWEEP:
+        # Engine ordering: Flink < Storm < Spark on average latency.
+        assert (
+            stats[("flink", w)].mean
+            < stats[("storm", w)].mean
+            < stats[("spark", w)].mean
+        )
+        # 90% load is never slower on average (within noise).
+        for engine in ("storm", "spark", "flink"):
+            assert (
+                stats[(f"{engine}(90%)", w)].mean
+                <= stats[(engine, w)].mean * 1.15
+            )
+    # Storm latency grows with cluster size; Spark's shrinks.
+    assert stats[("storm", 8)].mean > stats[("storm", 2)].mean
+    assert stats[("spark", 8)].mean < stats[("spark", 2)].mean * 1.05
+    # Spark has the tightest relative spread (mini-batching).
+    for w in WORKER_SWEEP:
+        spark_rel = stats[("spark", w)].std / stats[("spark", w)].mean
+        storm_rel = stats[("storm", w)].std / stats[("storm", w)].mean
+        assert spark_rel < storm_rel

@@ -1,0 +1,61 @@
+"""Table IV: latency statistics for windowed joins.
+
+Spark and Flink at their sustainable join rates and at 90% of them.
+
+Expected shape (paper): Flink beats Spark on every statistic; both
+engines' latencies *decrease* with cluster size; Spark's averages sit
+above its batch interval because queueing time is part of event-time
+latency ("the additional latency is due to tuples' waiting in the
+queue").
+"""
+
+import pytest
+
+from benchmarks.conftest import MEASURE_DURATION_S, WORKER_SWEEP, emit, join_spec
+from repro.analysis.paper_values import PAPER_TABLE4_JOIN_LATENCY
+from repro.core.experiment import run_experiment
+from repro.core.report import latency_table
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_join_latency(benchmark, join_sustainable_rates):
+    def measure():
+        stats = {}
+        for (engine, workers), rate in join_sustainable_rates.items():
+            for label, factor in ((engine, 1.0), (f"{engine}(90%)", 0.9)):
+                result = run_experiment(
+                    join_spec(
+                        engine,
+                        workers,
+                        profile=rate * factor,
+                        duration_s=MEASURE_DURATION_S,
+                    )
+                )
+                assert not result.failed, (label, workers, result.failure)
+                stats[(label, workers)] = result.event_latency
+        return stats
+
+    stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = latency_table(
+        "Table IV: event-time latency, windowed join (max and 90% load)",
+        measured=stats,
+        paper=PAPER_TABLE4_JOIN_LATENCY,
+        workers=WORKER_SWEEP,
+    )
+    emit("table4_join_latency", table)
+
+    for w in WORKER_SWEEP:
+        # Flink outperforms Spark in all parameters (paper).
+        assert stats[("flink", w)].mean < stats[("spark", w)].mean
+        assert stats[("flink", w)].p99 < stats[("spark", w)].p99
+        # 90% load at or below max load on average (within noise).
+        for engine in ("spark", "flink"):
+            assert (
+                stats[(f"{engine}(90%)", w)].mean
+                <= stats[(engine, w)].mean * 1.15
+            )
+    # Latency decreases with cluster size for both engines.
+    assert stats[("flink", 8)].mean < stats[("flink", 2)].mean
+    assert stats[("spark", 8)].mean < stats[("spark", 2)].mean * 1.2
+    # Spark's average exceeds its 4 s batch interval (queueing included).
+    assert stats[("spark", 2)].mean > 4.0

@@ -1,0 +1,113 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper has one bench module.  The
+expensive artifact -- the sustainable-throughput searches behind Tables
+I and III -- is computed once per session here and shared by the
+latency benches (Tables II and IV run *at* the discovered rates, exactly
+as the paper does).
+
+Benchmarks run the full framework: generator fleet -> driver queues ->
+simulated engine -> sink, with all measurement driver-side.  Results are
+printed in paper layout (with the published values alongside) and also
+written to ``benchmarks/out/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.generator import GeneratorConfig
+from repro.core.sustainable import (
+    SustainabilityCriteria,
+    find_sustainable_throughput,
+)
+from repro.workloads.queries import (
+    PAPER_DEFAULT_WINDOW,
+    WindowedAggregationQuery,
+    WindowedJoinQuery,
+)
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+# Trial sizing: long enough for ~15 windows post-warmup, short enough
+# that a full search stays in seconds of wall-clock per probe.
+SEARCH_DURATION_S = 120.0
+MEASURE_DURATION_S = 200.0
+GENERATOR = GeneratorConfig(instances=2)
+CRITERIA = SustainabilityCriteria()
+
+AGG_ENGINES = ("storm", "spark", "flink")
+JOIN_ENGINES = ("spark", "flink")
+WORKER_SWEEP = (2, 4, 8)
+
+# Probe ceilings ("a very high generation rate", Section IV-B).
+AGG_HIGH_RATE = 1.6e6
+JOIN_HIGH_RATE = 1.6e6
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench result and persist it under benchmarks/out/."""
+    print(f"\n{text}\n")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def agg_spec(engine: str, workers: int, **overrides) -> ExperimentSpec:
+    defaults = dict(
+        engine=engine,
+        query=WindowedAggregationQuery(window=PAPER_DEFAULT_WINDOW),
+        workers=workers,
+        duration_s=SEARCH_DURATION_S,
+        generator=GENERATOR,
+        seed=17,
+        monitor_resources=False,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+def join_spec(engine: str, workers: int, **overrides) -> ExperimentSpec:
+    defaults = dict(
+        engine=engine,
+        query=WindowedJoinQuery(window=PAPER_DEFAULT_WINDOW),
+        workers=workers,
+        duration_s=SEARCH_DURATION_S,
+        generator=GENERATOR,
+        seed=17,
+        monitor_resources=False,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+def search_rates(
+    spec_builder, engines, high_rate
+) -> Dict[Tuple[str, int], float]:
+    rates: Dict[Tuple[str, int], float] = {}
+    for engine in engines:
+        for workers in WORKER_SWEEP:
+            result = find_sustainable_throughput(
+                spec_builder(engine, workers),
+                high_rate=high_rate,
+                rel_tol=0.05,
+                criteria=CRITERIA,
+                max_trials=9,
+            )
+            rates[(engine, workers)] = result.sustainable_rate
+    return rates
+
+
+@pytest.fixture(scope="session")
+def agg_sustainable_rates() -> Dict[Tuple[str, int], float]:
+    """Table I: sustainable aggregation throughput per (engine, size)."""
+    return search_rates(agg_spec, AGG_ENGINES, AGG_HIGH_RATE)
+
+
+@pytest.fixture(scope="session")
+def join_sustainable_rates() -> Dict[Tuple[str, int], float]:
+    """Table III: sustainable join throughput per (engine, size)."""
+    return search_rates(join_spec, JOIN_ENGINES, JOIN_HIGH_RATE)

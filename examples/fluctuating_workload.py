@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Spike handling: the paper's fluctuating-workload experiment in small.
+
+The offered load steps high -> low -> high with the paper's exact rates
+(0.84 -> 0.28 -> 0.84 M/s) on an 8-worker deployment.  The interesting
+part is the step back up: the surge can stall Storm's topology (its
+backpressure is the least mature of the three), producing the biggest
+latency spike, while Flink's credit-based flow control recovers
+smoothly.
+
+Run:  python examples/fluctuating_workload.py
+"""
+
+import numpy as np
+
+from repro import ExperimentSpec, run_experiment
+from repro.analysis.ascii_plots import render_panels
+from repro.workloads import (
+    FluctuatingRate,
+    WindowSpec,
+    WindowedAggregationQuery,
+)
+
+DURATION_S = 300.0
+PROFILE = FluctuatingRate(
+    high=0.84e6, low=0.28e6, drop_at=DURATION_S / 3, recover_at=2 * DURATION_S / 3
+)
+
+
+def main() -> None:
+    query = WindowedAggregationQuery(window=WindowSpec(8.0, 4.0))
+    panels = {}
+    spikes = {}
+    for engine in ("storm", "spark", "flink"):
+        result = run_experiment(
+            ExperimentSpec(
+                engine=engine,
+                query=query,
+                workers=8,
+                profile=PROFILE,
+                duration_s=DURATION_S,
+                seed=31,
+                monitor_resources=False,
+            )
+        )
+        series = result.collector.binned_series(
+            bin_s=5.0, start_time=result.warmup_s
+        )
+        panels[engine] = series
+        values = np.asarray(series.values)
+        spikes[engine] = float(values.max() - np.percentile(values, 20))
+
+    print(
+        "Event-time latency under a fluctuating load "
+        f"({PROFILE.high / 1e3:.0f}k -> {PROFILE.low / 1e3:.0f}k -> "
+        f"{PROFILE.high / 1e3:.0f}k events/s):\n"
+    )
+    print(render_panels(panels, unit="s"))
+    print()
+    print("Spike severity (max latency above the calm-phase level):")
+    for engine, spike in sorted(spikes.items(), key=lambda kv: -kv[1]):
+        print(f"  {engine:<7} {spike:5.2f} s")
+    print()
+    print(
+        "Paper Experiment 5: 'Storm is the most susceptible system for\n"
+        "fluctuating workloads.'"
+    )
+
+
+if __name__ == "__main__":
+    main()

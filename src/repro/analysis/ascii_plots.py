@@ -1,0 +1,93 @@
+"""Terminal rendering of figure series.
+
+The benchmark harness regenerates the *data* behind every paper figure;
+these helpers give it a visual form without a plotting dependency --
+sparklines for one-liners and a block plot for panel-style figures.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.metrics import TimeSeries
+
+_SPARK_CHARS = " .:-=+*#%@"
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line block rendering of a value series."""
+    arr = np.asarray([v for v in values if np.isfinite(v)], dtype=np.float64)
+    if arr.size == 0:
+        return "(empty)"
+    if arr.size > width:
+        # Downsample by averaging chunks.
+        chunks = np.array_split(arr, width)
+        arr = np.asarray([chunk.mean() for chunk in chunks])
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return _BLOCKS[1] * arr.size
+    scaled = (arr - lo) / (hi - lo)
+    idx = np.minimum((scaled * (len(_BLOCKS) - 1)).astype(int), len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def render_series(
+    series: TimeSeries,
+    title: str = "",
+    width: int = 64,
+    height: int = 12,
+    unit: str = "",
+) -> str:
+    """Multi-line scatter rendering of one time series."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not len(series):
+        lines.append("(empty series)")
+        return "\n".join(lines)
+    t = np.asarray(series.times, dtype=np.float64)
+    v = np.asarray(series.values, dtype=np.float64)
+    finite = np.isfinite(v)
+    t, v = t[finite], v[finite]
+    if t.size == 0:
+        lines.append("(no finite samples)")
+        return "\n".join(lines)
+    t_lo, t_hi = float(t.min()), float(t.max())
+    v_lo, v_hi = float(v.min()), float(v.max())
+    t_span = max(t_hi - t_lo, 1e-12)
+    v_span = max(v_hi - v_lo, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for ti, vi in zip(t, v):
+        x = min(int((ti - t_lo) / t_span * (width - 1)), width - 1)
+        y = min(int((vi - v_lo) / v_span * (height - 1)), height - 1)
+        row = height - 1 - y
+        grid[row][x] = "*"
+    lines.append(f"{v_hi:10.3f}{unit} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 12 + "|" + "".join(row))
+    lines.append(f"{v_lo:10.3f}{unit} +" + "-" * width)
+    lines.append(
+        " " * 13 + f"t = {t_lo:.0f}s .. {t_hi:.0f}s ({len(series)} samples)"
+    )
+    return "\n".join(lines)
+
+
+def render_panels(
+    panels: Mapping[str, TimeSeries],
+    width: int = 64,
+    unit: str = "",
+) -> str:
+    """Sparkline-per-panel rendering for multi-panel figures (Fig 4/5)."""
+    lines = []
+    label_width = max((len(k) for k in panels), default=0) + 1
+    for label, series in panels.items():
+        spark = sparkline(series.values, width=width)
+        rng = ""
+        finite = [v for v in series.values if np.isfinite(v)]
+        if finite:
+            rng = f"  [{min(finite):.2f} .. {max(finite):.2f}{unit}]"
+        lines.append(f"{label:<{label_width}} {spark}{rng}")
+    return "\n".join(lines)

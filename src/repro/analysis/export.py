@@ -1,0 +1,120 @@
+"""JSON export of trial results and search outcomes.
+
+Benchmark runs are only useful if they can leave the process: this
+module serialises :class:`~repro.core.driver.TrialResult` and
+:class:`~repro.core.sustainable.SustainableSearchResult` into plain
+dictionaries / JSON files that downstream tooling (plotting, regression
+tracking) can consume without importing the framework.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Optional, Union
+
+from repro.core.driver import TrialResult
+from repro.core.latency import EVENT_TIME, PROCESSING_TIME
+from repro.core.metrics import StatSummary
+from repro.core.sustainable import SustainableSearchResult
+
+
+def summary_to_dict(summary: StatSummary) -> Dict[str, Any]:
+    """Flatten a :class:`StatSummary` (NaNs become None for JSON)."""
+
+    def clean(value: float) -> Optional[float]:
+        return None if value != value else float(value)
+
+    return {
+        "count": summary.count,
+        "weight": clean(summary.weight),
+        "mean": clean(summary.mean),
+        "min": clean(summary.minimum),
+        "max": clean(summary.maximum),
+        "p90": clean(summary.p90),
+        "p95": clean(summary.p95),
+        "p99": clean(summary.p99),
+        "std": clean(summary.std),
+    }
+
+
+def trial_to_dict(
+    result: TrialResult,
+    include_series: bool = False,
+    series_bin_s: float = 5.0,
+) -> Dict[str, Any]:
+    """Serialise one trial.
+
+    With ``include_series`` the binned latency series and the throughput
+    series are embedded (larger but figure-ready).
+    """
+    payload: Dict[str, Any] = {
+        "engine": result.engine,
+        "workers": result.workers,
+        "query_kind": result.query_kind,
+        "duration_s": result.duration_s,
+        "warmup_s": result.warmup_s,
+        "failure": result.failure,
+        "mean_ingest_rate": result.mean_ingest_rate,
+        "event_latency": summary_to_dict(result.event_latency),
+        "processing_latency": summary_to_dict(result.processing_latency),
+        "output_tuples": len(result.collector),
+        "diagnostics": {
+            key: float(value) for key, value in result.diagnostics.items()
+        },
+    }
+    if include_series:
+        event = result.collector.binned_series(
+            EVENT_TIME, bin_s=series_bin_s, start_time=result.warmup_s
+        )
+        proc = result.collector.binned_series(
+            PROCESSING_TIME, bin_s=series_bin_s, start_time=result.warmup_s
+        )
+        ingest = result.throughput.ingest_series
+        payload["series"] = {
+            "event_latency": {"t": event.times, "v": event.values},
+            "processing_latency": {"t": proc.times, "v": proc.values},
+            "ingest_rate": {"t": ingest.times, "v": ingest.values},
+            "queue_occupancy": {
+                "t": result.throughput.occupancy_series.times,
+                "v": result.throughput.occupancy_series.values,
+            },
+        }
+    return payload
+
+
+def search_to_dict(search: SustainableSearchResult) -> Dict[str, Any]:
+    """Serialise a sustainable-throughput search with its trial ladder."""
+    return {
+        "sustainable_rate": search.sustainable_rate,
+        "trial_count": search.trial_count,
+        "trials": [
+            {
+                "rate": trial.rate,
+                "sustainable": trial.verdict.sustainable,
+                "reasons": list(trial.verdict.reasons),
+                "mean_ingest_rate": trial.result.mean_ingest_rate,
+                "event_latency": summary_to_dict(trial.result.event_latency),
+            }
+            for trial in search.trials
+        ],
+    }
+
+
+def write_json(
+    payload: Dict[str, Any], path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Write a payload as pretty-printed JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def export_trial(
+    result: TrialResult,
+    path: Union[str, pathlib.Path],
+    include_series: bool = True,
+) -> pathlib.Path:
+    """Convenience: trial -> JSON file."""
+    return write_json(trial_to_dict(result, include_series=include_series), path)

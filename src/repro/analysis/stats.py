@@ -1,0 +1,91 @@
+"""Statistical helpers for judging reproduction quality.
+
+These functions support the shape claims the benchmarks make: relative
+errors against the paper's numbers, trend classification for
+sustainability arguments, and simple robust summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import TimeSeries
+
+INCREASING = "increasing"
+DECREASING = "decreasing"
+FLAT = "flat"
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference| (inf if reference is 0)."""
+    if reference == 0:
+        return float("inf") if measured != 0 else 0.0
+    return abs(measured - reference) / abs(reference)
+
+
+def within_factor(measured: float, reference: float, factor: float) -> bool:
+    """True when measured is within [reference/factor, reference*factor].
+
+    The task of a simulator-backed reproduction is shape, not absolute
+    agreement; benchmarks typically assert ``within_factor(..., 2.0)``.
+    """
+    if factor < 1.0:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if reference <= 0 or measured <= 0:
+        return measured == reference
+    return reference / factor <= measured <= reference * factor
+
+
+def trend_classification(
+    series: TimeSeries, flat_slope: float = 1e-3
+) -> str:
+    """Classify a series as increasing/decreasing/flat by its LS slope.
+
+    ``flat_slope`` is in value-units per second; pick it relative to the
+    series magnitude (the sustainability test scales it by offered rate).
+    """
+    slope = series.slope_per_s()
+    if slope > flat_slope:
+        return INCREASING
+    if slope < -flat_slope:
+        return DECREASING
+    return FLAT
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """std/mean -- used to compare ingest-rate fluctuation (Figure 9):
+    Storm's pull rate fluctuates far more than Flink's."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    mean = arr.mean()
+    if mean == 0:
+        return float("nan")
+    return float(arr.std() / abs(mean))
+
+
+def iqr(values: Sequence[float]) -> float:
+    """Interquartile range."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    q75, q25 = np.percentile(arr, [75, 25])
+    return float(q75 - q25)
+
+
+def crossover_time(
+    a: TimeSeries, b: TimeSeries, bin_s: float = 5.0
+) -> Tuple[bool, float]:
+    """First bin where series ``a`` drops below series ``b``.
+
+    Returns (found, time).  Used by shape checks of the form "X wins
+    until t, then Y wins".
+    """
+    a_binned = dict(zip(a.binned(bin_s).times, a.binned(bin_s).values))
+    b_binned = dict(zip(b.binned(bin_s).times, b.binned(bin_s).values))
+    for t in sorted(set(a_binned) & set(b_binned)):
+        if a_binned[t] < b_binned[t]:
+            return True, t
+    return False, float("nan")

@@ -1,0 +1,82 @@
+"""Time-series alignment and resampling for figure panels.
+
+The paper's figures overlay multiple runs (engines, cluster sizes,
+loads) on common time axes; these helpers bring the driver's raw series
+onto shared grids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.metrics import TimeSeries
+
+
+def resample(
+    series: TimeSeries, step_s: float, start: Optional[float] = None
+) -> TimeSeries:
+    """Nearest-previous-sample resampling onto a regular grid.
+
+    Empty gaps hold the last observed value (step interpolation), which
+    matches how occupancy/throughput counters behave between samples.
+    """
+    if step_s <= 0:
+        raise ValueError("step_s must be positive")
+    out = TimeSeries()
+    if not len(series):
+        return out
+    times = np.asarray(series.times)
+    values = np.asarray(series.values)
+    t0 = times[0] if start is None else start
+    grid = np.arange(t0, times[-1] + step_s / 2, step_s)
+    idx = np.searchsorted(times, grid, side="right") - 1
+    idx = np.clip(idx, 0, len(times) - 1)
+    out.times = grid.tolist()
+    out.values = values[idx].tolist()
+    return out
+
+
+def align_series(
+    series: Mapping[str, TimeSeries], step_s: float
+) -> Dict[str, TimeSeries]:
+    """Resample several series onto one shared grid (common start)."""
+    non_empty = {k: s for k, s in series.items() if len(s)}
+    if not non_empty:
+        return {k: TimeSeries() for k in series}
+    start = min(s.times[0] for s in non_empty.values())
+    return {
+        key: resample(s, step_s, start=start) if len(s) else TimeSeries()
+        for key, s in series.items()
+    }
+
+
+def normalise_time(series: TimeSeries) -> TimeSeries:
+    """Shift a series so it starts at t=0 (figure-friendly)."""
+    out = TimeSeries()
+    if not len(series):
+        return out
+    t0 = series.times[0]
+    out.times = [t - t0 for t in series.times]
+    out.values = list(series.values)
+    return out
+
+
+def moving_average(series: TimeSeries, window: int) -> TimeSeries:
+    """Centered moving average with edge shrinkage."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    out = TimeSeries()
+    if not len(series):
+        return out
+    values = np.asarray(series.values, dtype=np.float64)
+    half = window // 2
+    smoothed: List[float] = []
+    for i in range(len(values)):
+        lo = max(0, i - half)
+        hi = min(len(values), i + half + 1)
+        smoothed.append(float(values[lo:hi].mean()))
+    out.times = list(series.times)
+    out.values = smoothed
+    return out

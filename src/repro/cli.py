@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the framework's workflow:
+
+- ``run``     -- one trial: engine, query, workers, rate, duration.
+- ``search``  -- sustainable-throughput search for a deployment.
+- ``sweep``   -- a Table-I style sweep over engines and cluster sizes.
+- ``engines`` -- list registered engines and their cost models.
+
+Every command prints paper-style output and can export JSON via
+``--output``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.export import (
+    search_to_dict,
+    trial_to_dict,
+    write_json,
+)
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.generator import GeneratorConfig
+from repro.core.report import throughput_table
+from repro.core.sustainable import find_sustainable_throughput
+from repro.engines import ENGINES
+from repro.engines.calibration import registered_models
+from repro.workloads.keys import NormalKeys, SingleKey, UniformKeys, ZipfKeys
+from repro.workloads.queries import (
+    WindowSpec,
+    WindowedAggregationQuery,
+    WindowedJoinQuery,
+)
+
+KEY_DISTRIBUTIONS = {
+    "normal": lambda n: NormalKeys(n),
+    "uniform": lambda n: UniformKeys(n),
+    "single": lambda n: SingleKey(num_keys=n),
+    "zipf": lambda n: ZipfKeys(n),
+}
+
+
+def build_query(args: argparse.Namespace):
+    window = WindowSpec(args.window_size, args.window_slide)
+    keys = KEY_DISTRIBUTIONS[args.keys](args.num_keys)
+    if args.query == "aggregation":
+        return WindowedAggregationQuery(window=window, keys=keys)
+    return WindowedJoinQuery(window=window, keys=keys)
+
+
+def build_spec(args: argparse.Namespace, rate: Optional[float] = None):
+    return ExperimentSpec(
+        engine=args.engine,
+        query=build_query(args),
+        workers=args.workers,
+        profile=rate if rate is not None else args.rate,
+        duration_s=args.duration,
+        seed=args.seed,
+        generator=GeneratorConfig(instances=args.generators),
+        monitor_resources=not args.no_resources,
+    )
+
+
+def add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=sorted(ENGINES), default="flink",
+        help="system under test (default: flink)",
+    )
+    parser.add_argument(
+        "--query", choices=["aggregation", "join"], default="aggregation",
+        help="paper query template (default: aggregation)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker-node count; the paper sweeps 2/4/8 (default: 2)",
+    )
+    parser.add_argument(
+        "--window-size", type=float, default=8.0,
+        help="window size in seconds (default: 8)",
+    )
+    parser.add_argument(
+        "--window-slide", type=float, default=4.0,
+        help="window slide in seconds (default: 4)",
+    )
+    parser.add_argument(
+        "--keys", choices=sorted(KEY_DISTRIBUTIONS), default="normal",
+        help="key distribution (default: normal, as in the paper)",
+    )
+    parser.add_argument(
+        "--num-keys", type=int, default=64,
+        help="key-space size (default: 64)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=160.0,
+        help="simulated seconds per trial, 25%% warmup (default: 160)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--generators", type=int, default=2,
+        help="parallel generator instances (default: 2)",
+    )
+    parser.add_argument(
+        "--no-resources", action="store_true",
+        help="skip CPU/network sampling (slightly faster)",
+    )
+    parser.add_argument(
+        "--output", type=str, default=None,
+        help="write the result as JSON to this path",
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = build_spec(args)
+    result = run_experiment(spec)
+    print(result.describe())
+    print(f"  event-time latency   : {result.event_latency.row()}")
+    print(f"  processing-time lat. : {result.processing_latency.row()}")
+    print(f"  mean ingest rate     : {result.mean_ingest_rate / 1e6:.3f} M/s")
+    if args.output:
+        path = write_json(trial_to_dict(result, include_series=True), args.output)
+        print(f"  wrote {path}")
+    return 1 if result.failed else 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    spec = build_spec(args, rate=args.high_rate)
+    search = find_sustainable_throughput(
+        spec, high_rate=args.high_rate, rel_tol=args.tolerance
+    )
+    for trial in search.trials:
+        verdict = "sustainable" if trial.verdict.sustainable else "UNSUSTAINABLE"
+        print(f"  {trial.rate / 1e6:8.3f} M/s  {verdict}")
+    print(
+        f"sustainable throughput: {search.sustainable_rate / 1e6:.3f} M/s "
+        f"({search.trial_count} trials)"
+    )
+    if args.output:
+        path = write_json(search_to_dict(search), args.output)
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    measured = {}
+    for engine in args.engines:
+        for workers in args.worker_counts:
+            sweep_args = argparse.Namespace(**vars(args))
+            sweep_args.engine = engine
+            sweep_args.workers = workers
+            spec = build_spec(sweep_args, rate=args.high_rate)
+            search = find_sustainable_throughput(
+                spec, high_rate=args.high_rate, rel_tol=args.tolerance
+            )
+            measured[(engine, workers)] = search.sustainable_rate
+            print(
+                f"  {engine}/{workers}w: "
+                f"{search.sustainable_rate / 1e6:.3f} M/s"
+            )
+    print()
+    print(
+        throughput_table(
+            f"Sustainable throughput, {args.query} "
+            f"({args.window_size:g}s, {args.window_slide:g}s)",
+            measured=measured,
+            workers=tuple(args.worker_counts),
+        )
+    )
+    if args.output:
+        payload = {
+            f"{engine}/{workers}": rate
+            for (engine, workers), rate in measured.items()
+        }
+        path = write_json(payload, args.output)
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_engines(args: argparse.Namespace) -> int:
+    print("registered engines:")
+    for name in sorted(ENGINES):
+        print(f"  {name:<8} {ENGINES[name].__name__}")
+    print()
+    print("calibrated cost models (engine, query): pipeline+keyed us/event")
+    for (engine, kind), model in sorted(registered_models().items()):
+        print(
+            f"  {engine:<8} {kind:<12} "
+            f"{model.pipeline_cost_us:6.1f} + {model.keyed_cost_us:5.2f} us, "
+            f"eff={dict(model.scaling_efficiency)}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Benchmark simulated stream processing engines with the "
+            "ICDE'18 driver/SUT-separated methodology."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one benchmark trial")
+    add_common_arguments(run_parser)
+    run_parser.add_argument(
+        "--rate", type=float, default=0.3e6,
+        help="offered load in events/s (default: 300000)",
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    search_parser = sub.add_parser(
+        "search", help="find the sustainable throughput (Definition 5)"
+    )
+    add_common_arguments(search_parser)
+    search_parser.add_argument(
+        "--high-rate", type=float, default=1.6e6,
+        help="probe ceiling in events/s (default: 1.6e6)",
+    )
+    search_parser.add_argument("--tolerance", type=float, default=0.05)
+    search_parser.set_defaults(func=cmd_search)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="Table-I style sweep over engines and cluster sizes"
+    )
+    add_common_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--engines", nargs="+", choices=sorted(ENGINES),
+        default=sorted(ENGINES),
+    )
+    sweep_parser.add_argument(
+        "--worker-counts", nargs="+", type=int, default=[2, 4, 8]
+    )
+    sweep_parser.add_argument("--high-rate", type=float, default=1.6e6)
+    sweep_parser.add_argument("--tolerance", type=float, default=0.05)
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    engines_parser = sub.add_parser(
+        "engines", help="list engines and calibrated cost models"
+    )
+    engines_parser.set_defaults(func=cmd_engines)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

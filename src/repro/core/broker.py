@@ -1,0 +1,125 @@
+"""An optional message-broker mediator between generators and the SUT.
+
+The paper argues *against* placing a broker (Kafka-style) between the
+data generator and the SUT (Section III-A): the broker persists events
+to disk, adds a de-/serialisation layer, and may re-partition data
+before it reaches the SUT sources -- all of which made the broker the
+bottleneck of the Yahoo streaming benchmark.  This module exists to
+*reproduce that argument*: the ablation benchmark inserts a
+:class:`BrokerStage` in front of the driver queues and shows the
+mediator capping throughput and polluting latency.
+
+The broker model: events pushed by a generator are persisted (fixed
+per-event cost), optionally re-partitioned (a fraction pays an extra
+hop), and released to the SUT-facing queue no faster than the broker's
+forwarding capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.queues import DriverQueue
+from repro.core.records import Record
+from repro.sim.simulator import PeriodicProcess, Simulator
+
+
+@dataclass(frozen=True)
+class BrokerSpec:
+    """Performance characteristics of the mediator."""
+
+    forward_capacity_events_per_s: float = 0.7e6
+    """Aggregate rate the broker can serve to consumers -- the Yahoo
+    benchmark's observed bottleneck."""
+    persistence_delay_s: float = 0.05
+    """Write-to-log + page-cache latency before an event is consumable."""
+    repartition_fraction: float = 0.5
+    """Fraction of events landing in a partition that does not match the
+    SUT's partitioning and paying an extra forwarding hop."""
+    repartition_delay_s: float = 0.04
+    tick_interval_s: float = 0.05
+
+
+class BrokerStage:
+    """A mediator stage feeding one SUT-facing driver queue.
+
+    Generators push into the broker; a periodic forwarder releases
+    events to the downstream queue at the broker's capacity, after the
+    persistence (and possibly re-partition) delay.  Event-time
+    timestamps are untouched -- the added delay therefore shows up in
+    event-time latency, exactly the distortion the paper describes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        downstream: DriverQueue,
+        spec: BrokerSpec,
+        share: float = 1.0,
+    ) -> None:
+        if not 0 < share <= 1:
+            raise ValueError(f"share must be in (0, 1], got {share}")
+        self.sim = sim
+        self.spec = spec
+        self.downstream = downstream
+        self.share = share
+        self._staged = DriverQueue(name=f"{downstream.name}-broker")
+        self._released_through = 0.0
+        self.forwarded_weight = 0.0
+        self._process: Optional[PeriodicProcess] = sim.every(
+            spec.tick_interval_s, self._forward
+        )
+
+    def push(self, record: Record, at_time: float = float("nan")) -> None:
+        """Generator-facing push (same interface as DriverQueue)."""
+        self._staged.push(record, at_time=at_time)
+
+    def _forward(self, sim: Simulator) -> None:
+        budget = (
+            self.spec.forward_capacity_events_per_s
+            * self.share
+            * self.spec.tick_interval_s
+        )
+        now = sim.now
+        for record in self._staged.pull(budget):
+            # Only events past their persistence (+ repartition) delay
+            # may be served; later-generated ones wait a tick.
+            delay = self.spec.persistence_delay_s
+            # A deterministic share of the weight pays the extra hop.
+            direct = record.weight * (1.0 - self.spec.repartition_fraction)
+            rerouted = record.weight - direct
+            if direct > 0:
+                self._release(record, direct, now + delay)
+            if rerouted > 0:
+                self._release(
+                    record,
+                    rerouted,
+                    now + delay + self.spec.repartition_delay_s,
+                )
+
+    def _release(self, record: Record, weight: float, at_time: float) -> None:
+        clone = Record(
+            key=record.key,
+            value=record.value,
+            event_time=record.event_time,
+            weight=weight,
+            stream=record.stream,
+        )
+        self.sim.schedule_at(
+            max(at_time, self.sim.now), self._deliver, clone
+        )
+
+    def _deliver(self, record: Record) -> None:
+        self.downstream.push(record, at_time=self.sim.now)
+        self.forwarded_weight += record.weight
+
+    @property
+    def staged_weight(self) -> float:
+        """Events sitting inside the broker (its own backlog)."""
+        return self._staged.queued_weight
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None

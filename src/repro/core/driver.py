@@ -1,0 +1,166 @@
+"""The benchmark driver: full separation of driver and SUT.
+
+Section III-C: "We choose to isolate the benchmark driver, i.e., the
+data generator, queues, and measurements from the SUT. ... we measure
+throughput at the queues between the data generator and the SUT and
+measure latency at the sink operator of the SUT."
+
+The driver owns everything except the engine:
+
+- the generator fleet and their queues (driver nodes);
+- the throughput monitor (at the queues) and the latency collector
+  (fed by the sink callback);
+- the failure rules: a dropped queue connection or an engine failure
+  halts the trial with a "cannot sustain" verdict;
+- the warmup policy ("We use 25% of the input data as a warmup"): all
+  reported statistics exclude outputs emitted before the warmup end.
+
+The engine only ever receives ``(queues, sink)`` -- it cannot observe or
+influence measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.generator import (
+    DataGenerator,
+    GeneratorConfig,
+    build_generator_fleet,
+)
+from repro.core.latency import EVENT_TIME, PROCESSING_TIME, LatencyCollector
+from repro.core.metrics import StatSummary
+from repro.core.queues import QueueSet
+from repro.core.throughput import ThroughputMonitor
+from repro.engines.base import StreamingEngine
+from repro.engines.operators.sink import Sink
+from repro.sim.failures import SutFailure
+from repro.sim.resources import ResourceMonitor
+from repro.sim.simulator import Simulator
+from repro.workloads.profiles import RateProfile
+
+
+@dataclass
+class TrialResult:
+    """Everything measured in one benchmark trial.
+
+    Latency summaries and the ingest rate exclude the warmup period;
+    the raw collectors/monitors are kept for figure generation.
+    """
+
+    engine: str
+    workers: int
+    query_kind: str
+    offered_profile: RateProfile
+    duration_s: float
+    warmup_s: float
+    failure: Optional[str]
+    failure_time: float
+    event_latency: StatSummary
+    processing_latency: StatSummary
+    mean_ingest_rate: float
+    collector: LatencyCollector
+    throughput: ThroughputMonitor
+    resources: Optional[ResourceMonitor]
+    diagnostics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+    @property
+    def measurement_start(self) -> float:
+        return self.warmup_s
+
+    def describe(self) -> str:
+        status = f"FAILED: {self.failure}" if self.failed else "completed"
+        return (
+            f"{self.engine} / {self.workers} workers / {self.query_kind}: "
+            f"{status}; ingest {self.mean_ingest_rate / 1e6:.3f} M/s; "
+            f"event latency {self.event_latency.row()}"
+        )
+
+
+class BenchmarkDriver:
+    """Runs one trial: generators + queues + one engine + measurement."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        engine: StreamingEngine,
+        generators: List[DataGenerator],
+        duration_s: float,
+        warmup_fraction: float = 0.25,
+        throughput_interval_s: float = 1.0,
+        queues: Optional[QueueSet] = None,
+        keep_outputs: bool = False,
+    ) -> None:
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if not 0 <= warmup_fraction < 1:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        self.sim = sim
+        self.engine = engine
+        self.generators = generators
+        # The SUT-facing queues are normally the generators' own; a
+        # mediator stage (the broker ablation) interposes its own queues.
+        self.queues = queues or QueueSet([g.queue for g in generators])
+        self.duration_s = duration_s
+        self.warmup_s = duration_s * warmup_fraction
+        self.collector = LatencyCollector(keep_outputs=keep_outputs)
+        self.sink = Sink(self.collector.collect)
+        self.monitor = ThroughputMonitor(
+            sim, self.queues, interval_s=throughput_interval_s
+        )
+        self._watchdog = sim.every(1.0, self._check_engine)
+        self._failure: Optional[SutFailure] = None
+
+    def _check_engine(self, sim: Simulator) -> None:
+        """Halt the run as soon as the SUT has failed (Section VI-A)."""
+        if self.engine.failed:
+            self._failure = self.engine.failure
+            sim.stop()
+
+    def run(self) -> TrialResult:
+        """Execute the trial and assemble the result."""
+        for generator in self.generators:
+            generator.start()
+        self.engine.start(self.queues, self.sink)
+        try:
+            self.sim.run_until(self.duration_s)
+        except SutFailure as failure:
+            # Raised by a queue push (connection drop): the driver halts
+            # the experiment.
+            self._failure = failure
+        finally:
+            self.engine.stop()
+            for generator in self.generators:
+                generator.stop()
+            self.monitor.stop()
+            self._watchdog.stop()
+        if self._failure is None and self.engine.failed:
+            self._failure = self.engine.failure
+        failure_msg = str(self._failure) if self._failure else None
+        failure_time = (
+            self._failure.at_time if self._failure is not None else float("nan")
+        )
+        return TrialResult(
+            engine=self.engine.name,
+            workers=self.engine.cluster.workers,
+            query_kind=self.engine.query.kind,
+            offered_profile=self.generators[0].profile,
+            duration_s=self.duration_s,
+            warmup_s=self.warmup_s,
+            failure=failure_msg,
+            failure_time=failure_time,
+            event_latency=self.collector.summary(EVENT_TIME, self.warmup_s),
+            processing_latency=self.collector.summary(
+                PROCESSING_TIME, self.warmup_s
+            ),
+            mean_ingest_rate=self.monitor.mean_ingest_rate(self.warmup_s),
+            collector=self.collector,
+            throughput=self.monitor,
+            resources=self.engine.resources,
+            diagnostics=self.engine.diagnostics(),
+        )

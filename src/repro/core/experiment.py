@@ -1,0 +1,161 @@
+"""Declarative experiment specification and runner.
+
+An :class:`ExperimentSpec` captures everything that identifies a trial
+in the paper's evaluation -- engine, query, cluster size, offered load,
+duration, seed -- and :func:`run_experiment` assembles the full stack
+(simulator, cluster, data plane, resource monitor, generator fleet,
+engine, driver) and runs it.  All benchmarks, examples, and integration
+tests go through this single entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.core.broker import BrokerSpec, BrokerStage
+from repro.core.driver import BenchmarkDriver, TrialResult
+from repro.core.generator import GeneratorConfig, build_generator_fleet
+from repro.core.queues import DriverQueue, QueueSet
+from repro.engines import engine_class
+from repro.engines.base import EngineConfig
+from repro.sim.cluster import ClusterSpec, paper_cluster
+from repro.sim.network import DataPlane, NetworkSpec
+from repro.sim.nodefail import NodeFailureSpec
+from repro.sim.resources import ResourceMonitor
+from repro.sim.rng import RngRegistry
+from repro.sim.simulator import Simulator
+from repro.workloads.profiles import ConstantRate, RateProfile
+from repro.workloads.queries import Query, WindowedAggregationQuery
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One benchmark trial, fully specified."""
+
+    engine: str = "flink"
+    query: Query = field(default_factory=WindowedAggregationQuery)
+    workers: int = 2
+    profile: Union[RateProfile, float] = 0.5e6
+    """Offered load: a :class:`RateProfile` or an events/s constant."""
+    duration_s: float = 240.0
+    warmup_fraction: float = 0.25
+    seed: int = 1
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    engine_config: Optional[EngineConfig] = None
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    throughput_interval_s: float = 1.0
+    resource_interval_s: float = 5.0
+    monitor_resources: bool = True
+    broker: Optional[BrokerSpec] = None
+    """Insert a message-broker mediator between generators and the SUT
+    (the design the paper argues against, Section III-A); used by the
+    broker ablation benchmark."""
+    keep_outputs: bool = False
+    """Retain raw output tuples on the trial's collector (correctness
+    checks and ablations; costs memory on long runs)."""
+    node_failure: Optional[NodeFailureSpec] = None
+    """Kill worker nodes mid-run (Related Work extension: Lopez et
+    al.'s node-failure robustness comparison)."""
+
+    def rate_profile(self) -> RateProfile:
+        if isinstance(self.profile, RateProfile):
+            return self.profile
+        return ConstantRate(float(self.profile))
+
+    def cluster(self) -> ClusterSpec:
+        return paper_cluster(self.workers)
+
+    def with_rate(self, rate: float) -> "ExperimentSpec":
+        """The same experiment at a different constant offered load."""
+        return replace(self, profile=float(rate))
+
+    def with_seed(self, seed: int) -> "ExperimentSpec":
+        return replace(self, seed=seed)
+
+    def label(self) -> str:
+        profile = self.rate_profile()
+        if isinstance(profile, ConstantRate):
+            load = f"{profile.rate / 1e6:.3f} M/s"
+        else:
+            load = type(profile).__name__
+        return (
+            f"{self.engine}/{self.workers}w/{self.query.kind}@{load}"
+        )
+
+
+def run_experiment(spec: ExperimentSpec) -> TrialResult:
+    """Build the full stack for ``spec``, run it, return the result."""
+    sim = Simulator()
+    rng = RngRegistry(seed=spec.seed)
+    cluster = spec.cluster()
+    plane = DataPlane(sim, spec.network)
+    resources = (
+        ResourceMonitor(sim, cluster, sample_interval_s=spec.resource_interval_s)
+        if spec.monitor_resources
+        else None
+    )
+    profile = spec.rate_profile()
+    generators = build_generator_fleet(
+        sim=sim,
+        profile=profile,
+        query=spec.query,
+        rng_streams=[
+            rng.stream(f"generator-{i}") for i in range(spec.generator.instances)
+        ],
+        config=spec.generator,
+        horizon_s=spec.duration_s,
+    )
+    sut_queues = None
+    brokers = []
+    if spec.broker is not None:
+        # Interpose the mediator: generators push into broker stages,
+        # the SUT reads from the brokers' downstream queues.
+        downstreams = []
+        for generator in generators:
+            downstream = DriverQueue(
+                name=f"{generator.queue.name}-sut",
+                capacity_weight=generator.queue.capacity_weight,
+            )
+            stage = BrokerStage(
+                sim=sim,
+                downstream=downstream,
+                spec=spec.broker,
+                share=1.0 / len(generators),
+            )
+            generator.queue = stage  # type: ignore[assignment]
+            brokers.append(stage)
+            downstreams.append(downstream)
+        sut_queues = QueueSet(downstreams)
+    engine_cls = engine_class(spec.engine)
+    engine = engine_cls(
+        sim=sim,
+        cluster=cluster,
+        query=spec.query,
+        plane=plane,
+        rng=rng.stream(f"engine-{spec.engine}"),
+        resources=resources,
+        config=spec.engine_config,
+    )
+    if spec.node_failure is not None:
+        sim.schedule_at(
+            spec.node_failure.fail_at_s,
+            engine.inject_node_failure,
+            spec.node_failure.nodes,
+        )
+    driver = BenchmarkDriver(
+        sim=sim,
+        engine=engine,
+        generators=generators,
+        duration_s=spec.duration_s,
+        warmup_fraction=spec.warmup_fraction,
+        throughput_interval_s=spec.throughput_interval_s,
+        queues=sut_queues,
+        keep_outputs=spec.keep_outputs,
+    )
+    result = driver.run()
+    for stage in brokers:
+        stage.stop()
+    if resources is not None:
+        resources.stop()
+    return result

@@ -1,0 +1,226 @@
+"""The scalable on-the-fly data generator.
+
+Section III of the paper argues for generating data on the fly instead
+of reading from a message broker (which had been the bottleneck of the
+Yahoo streaming benchmark), with these properties, all implemented here:
+
+- N parallel generator instances, each paired with its own driver queue
+  on a driver node ("Each data generator generates 100M events with
+  constant speed using 16 parallel instances");
+- configurable, rate-controlled generation ("with constant speed
+  throughout the experiment"), provisioned faster than the fastest SUT
+  so generation never bottlenecks a trial;
+- every event timestamped at generation time -- the event-time anchor.
+
+Two key-emission modes:
+
+- ``dense`` (benchmark default): each tick emits one weighted cohort per
+  catalog key, with weights following the key distribution's pmf.  This
+  is the fluid limit of the real generator: at the paper's event rates
+  (~10^5..10^6 events/s) every key receives many events per tick, so the
+  deterministic weights match the law of large numbers and the per-key
+  max-event-time anchors are exact.
+- ``sampled``: each tick draws ``keys_per_cohort`` random keys and
+  splits the tick's weight among them -- retains sampling noise; used by
+  tests and the small-scale examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.queues import DriverQueue
+from repro.core.records import ADS, PURCHASES, Record
+from repro.sim.simulator import PeriodicProcess, Simulator
+from repro.workloads.disorder import DisorderSpec
+from repro.workloads.events import MAX_GEM_PACK_PRICE, MIN_GEM_PACK_PRICE
+from repro.workloads.profiles import RateProfile
+from repro.workloads.queries import Query, WindowedJoinQuery
+
+DENSE = "dense"
+SAMPLED = "sampled"
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Sizing and mode of the generator fleet."""
+
+    instances: int = 4
+    tick_interval_s: float = 0.05
+    mode: str = DENSE
+    keys_per_cohort: int = 8
+    """Keys drawn per tick in ``sampled`` mode."""
+    queue_capacity_seconds: float = 120.0
+    """Driver-queue capacity in seconds of peak generation; exceeding it
+    is the paper's dropped-connection failure."""
+    disorder: Optional[DisorderSpec] = None
+    """Emit a fraction of events with lagged event times (out-of-order
+    streams -- the paper's future-work extension)."""
+
+    def __post_init__(self) -> None:
+        if self.instances < 1:
+            raise ValueError(f"instances must be >= 1, got {self.instances}")
+        if self.tick_interval_s <= 0:
+            raise ValueError("tick_interval_s must be positive")
+        if self.mode not in (DENSE, SAMPLED):
+            raise ValueError(f"mode must be 'dense' or 'sampled', got {self.mode!r}")
+        if self.keys_per_cohort < 1:
+            raise ValueError("keys_per_cohort must be >= 1")
+
+
+class DataGenerator:
+    """One generator instance feeding one driver queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        queue: DriverQueue,
+        profile: RateProfile,
+        query: Query,
+        rng: np.random.Generator,
+        config: GeneratorConfig,
+        share: float,
+    ) -> None:
+        if not 0 < share <= 1:
+            raise ValueError(f"share must be in (0, 1], got {share}")
+        self.sim = sim
+        self.queue = queue
+        self.profile = profile
+        self.query = query
+        self.rng = rng
+        self.config = config
+        self.share = share
+        self.generated_weight = 0.0
+        self._pmf = query.keys.pmf()
+        self._mean_price = (MIN_GEM_PACK_PRICE + MAX_GEM_PACK_PRICE) / 2.0
+        self._is_join = isinstance(query, WindowedJoinQuery)
+        self._purchases_share = (
+            query.purchases_share if self._is_join else 1.0
+        )
+        self._process: Optional[PeriodicProcess] = None
+
+    def start(self) -> None:
+        if self._process is not None:
+            raise RuntimeError("generator already started")
+        self._process = self.sim.every(
+            self.config.tick_interval_s, self._tick, start=self.sim.now
+        )
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    # -- generation -------------------------------------------------------
+
+    def _tick(self, sim: Simulator) -> None:
+        rate = self.profile.rate_at(sim.now) * self.share
+        weight = rate * self.config.tick_interval_s
+        if weight <= 0:
+            return
+        now = sim.now
+        if self._is_join:
+            purchases = weight * self._purchases_share
+            ads = weight - purchases
+            self._emit_stream(PURCHASES, purchases, now)
+            self._emit_stream(ADS, ads, now)
+        else:
+            self._emit_stream(PURCHASES, weight, now)
+        self.generated_weight += weight
+
+    def _emit_stream(self, stream: str, weight: float, now: float) -> None:
+        if weight <= 0:
+            return
+        disorder = self.config.disorder
+        if disorder is not None and disorder.fraction > 0:
+            late_weight = weight * disorder.fraction
+            weight -= late_weight
+            lag = disorder.sample_delay(self.rng)
+            late_time = max(0.0, now - lag)
+            if self.config.mode == DENSE:
+                self._emit_dense(stream, late_weight, late_time)
+            else:
+                self._emit_sampled(stream, late_weight, late_time)
+        if weight <= 0:
+            return
+        if self.config.mode == DENSE:
+            self._emit_dense(stream, weight, now)
+        else:
+            self._emit_sampled(stream, weight, now)
+
+    def _emit_dense(self, stream: str, weight: float, now: float) -> None:
+        value = self._mean_price if stream == PURCHASES else 0.0
+        for key, mass in enumerate(self._pmf):
+            if mass <= 0:
+                continue
+            self.queue.push(
+                Record(
+                    key=key,
+                    value=value,
+                    event_time=now,
+                    weight=weight * mass,
+                    stream=stream,
+                ),
+                at_time=now,
+            )
+
+    def _emit_sampled(self, stream: str, weight: float, now: float) -> None:
+        k = self.config.keys_per_cohort
+        keys = self.query.keys.sample(self.rng, k)
+        per_key_weight = weight / k
+        for key in keys:
+            if stream == PURCHASES:
+                value = float(
+                    self.rng.uniform(MIN_GEM_PACK_PRICE, MAX_GEM_PACK_PRICE)
+                )
+            else:
+                value = 0.0
+            self.queue.push(
+                Record(
+                    key=int(key),
+                    value=value,
+                    event_time=now,
+                    weight=per_key_weight,
+                    stream=stream,
+                ),
+                at_time=now,
+            )
+
+
+def build_generator_fleet(
+    sim: Simulator,
+    profile: RateProfile,
+    query: Query,
+    rng_streams: List[np.random.Generator],
+    config: GeneratorConfig,
+    horizon_s: float,
+) -> List[DataGenerator]:
+    """Create ``config.instances`` generators with equal rate shares.
+
+    Each generator gets its own queue sized from the profile's peak rate
+    and its own RNG stream (``rng_streams`` must have one per instance).
+    """
+    if len(rng_streams) != config.instances:
+        raise ValueError(
+            f"need {config.instances} RNG streams, got {len(rng_streams)}"
+        )
+    peak_share = profile.peak(horizon_s) / config.instances
+    capacity = max(1.0, peak_share * config.queue_capacity_seconds)
+    generators = []
+    for i in range(config.instances):
+        queue = DriverQueue(name=f"queue-{i}", capacity_weight=capacity)
+        generators.append(
+            DataGenerator(
+                sim=sim,
+                queue=queue,
+                profile=profile,
+                query=query,
+                rng=rng_streams[i],
+                config=config,
+                share=1.0 / config.instances,
+            )
+        )
+    return generators

@@ -1,0 +1,113 @@
+"""Driver-side latency measurement.
+
+The defining methodological choice of the paper: latency is measured at
+the SUT's sink, against timestamps assigned by the *driver* --
+event-time latency against the generation timestamp (Definition 1) and
+processing-time latency against the SUT ingestion timestamp (Definition
+2).  For windowed outputs, the anchors are the maxima over the
+contributing inputs (Definitions 3 and 4), which the operators already
+attach to every :class:`~repro.core.records.OutputRecord`.
+
+Measuring *both* latencies is what exposes the coordinated-omission
+problem (Section IV-A, Experiment 6): under overload, processing-time
+latency stays flat while event-time latency grows with the queues.
+
+The collector never lives inside the SUT; it is the driver-side callback
+attached to the sink.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.metrics import StatSummary, TimeSeries, weighted_summary
+from repro.core.records import OutputRecord
+
+EVENT_TIME = "event_time"
+PROCESSING_TIME = "processing_time"
+LATENCY_KINDS = (EVENT_TIME, PROCESSING_TIME)
+
+
+class LatencyCollector:
+    """Collects per-output latency samples emitted by the SUT sink.
+
+    With ``keep_outputs=True`` the raw :class:`OutputRecord` objects are
+    retained as well (value-correctness checks and the latency-anchor
+    ablation need them); by default only the latency samples are kept.
+    """
+
+    def __init__(self, keep_outputs: bool = False) -> None:
+        # Parallel arrays: (emit_time, event_lat, proc_lat, weight).
+        self._emit_times: List[float] = []
+        self._event_lat: List[float] = []
+        self._proc_lat: List[float] = []
+        self._weights: List[float] = []
+        self.keep_outputs = keep_outputs
+        self.outputs: List[OutputRecord] = []
+
+    def collect(self, outputs: List[OutputRecord]) -> None:
+        """Sink callback: record one emission bundle."""
+        for out in outputs:
+            self._emit_times.append(out.emit_time)
+            self._event_lat.append(out.event_time_latency)
+            self._proc_lat.append(out.processing_time_latency)
+            self._weights.append(out.weight)
+        if self.keep_outputs:
+            self.outputs.extend(outputs)
+
+    def __len__(self) -> int:
+        return len(self._emit_times)
+
+    def _arrays(
+        self, kind: str, start_time: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if kind == EVENT_TIME:
+            lat = self._event_lat
+        elif kind == PROCESSING_TIME:
+            lat = self._proc_lat
+        else:
+            raise ValueError(
+                f"unknown latency kind {kind!r}; expected one of {LATENCY_KINDS}"
+            )
+        times = np.asarray(self._emit_times)
+        values = np.asarray(lat)
+        weights = np.asarray(self._weights)
+        mask = times >= start_time
+        return times[mask], values[mask], weights[mask]
+
+    def summary(self, kind: str = EVENT_TIME, start_time: float = 0.0) -> StatSummary:
+        """Paper-table statistics over outputs emitted after ``start_time``
+        (the driver passes the warmup end)."""
+        _, values, weights = self._arrays(kind, start_time)
+        return weighted_summary(values, weights)
+
+    def series(self, kind: str = EVENT_TIME, start_time: float = 0.0) -> TimeSeries:
+        """Raw (emit_time, latency) series -- the dots of Figures 4/5."""
+        times, values, _ = self._arrays(kind, start_time)
+        series = TimeSeries()
+        series.times = times.tolist()
+        series.values = values.tolist()
+        return series
+
+    def binned_series(
+        self,
+        kind: str = EVENT_TIME,
+        bin_s: float = 5.0,
+        start_time: float = 0.0,
+        agg=np.mean,
+    ) -> TimeSeries:
+        """Binned latency-over-time series (the lines of Figures 6-8)."""
+        return self.series(kind, start_time).binned(bin_s, agg=agg)
+
+    def trend_slope(
+        self, kind: str = EVENT_TIME, start_time: float = 0.0, bin_s: float = 5.0
+    ) -> float:
+        """Slope of binned latency over time (s of latency per s).
+
+        A persistently positive slope is Definition 5's "continuously
+        increasing event-time latency" -- the unsustainability signal.
+        """
+        binned = self.binned_series(kind, bin_s=bin_s, start_time=start_time)
+        return binned.slope_per_s()

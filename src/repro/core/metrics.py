@@ -1,0 +1,192 @@
+"""Weighted statistics and time series.
+
+Tables II and IV of the paper report, per configuration, the average,
+minimum, maximum and the (90, 95, 99) quantiles of latency in seconds.
+Output tuples in this reproduction carry weights (a join output cohort
+stands for many result tuples), so the summary statistics are
+weight-aware: a sample with weight ``w`` counts as ``w`` identical
+observations.
+
+:class:`TimeSeries` is the container for every over-time figure (latency
+distributions of Figures 4-8, throughput of Figure 9, scheduler delay of
+Figure 11) with binning and trend helpers used by the sustainability
+test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+PAPER_QUANTILES = (0.90, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class StatSummary:
+    """Weighted summary in the shape of the paper's latency tables."""
+
+    count: int
+    weight: float
+    mean: float
+    minimum: float
+    maximum: float
+    p90: float
+    p95: float
+    p99: float
+    std: float
+
+    @classmethod
+    def empty(cls) -> "StatSummary":
+        nan = float("nan")
+        return cls(0, 0.0, nan, nan, nan, nan, nan, nan, nan)
+
+    @property
+    def quantiles(self) -> Tuple[float, float, float]:
+        return (self.p90, self.p95, self.p99)
+
+    def row(self) -> str:
+        """Render as a paper-style table fragment:
+        ``avg min max (q90, q95, q99)``."""
+        if self.count == 0:
+            return "-- (no samples)"
+        return (
+            f"{self.mean:.2f} {self.minimum:.3g} {self.maximum:.3g} "
+            f"({self.p90:.2f}, {self.p95:.2f}, {self.p99:.2f})"
+        )
+
+
+def weighted_quantile(
+    values: np.ndarray, weights: np.ndarray, q: float
+) -> float:
+    """Weighted quantile via the cumulative-weight definition.
+
+    ``q`` in [0, 1].  Values need not be sorted.  With unit weights this
+    matches the inverse-CDF (type-1) sample quantile.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    if values.size == 0:
+        return float("nan")
+    order = np.argsort(values, kind="stable")
+    values = values[order]
+    weights = weights[order]
+    cum = np.cumsum(weights)
+    target = q * cum[-1]
+    idx = int(np.searchsorted(cum, target, side="left"))
+    idx = min(idx, values.size - 1)
+    return float(values[idx])
+
+
+def weighted_summary(
+    values: Sequence[float], weights: Optional[Sequence[float]] = None
+) -> StatSummary:
+    """Weighted mean/min/max/quantiles over samples."""
+    vals = np.asarray(values, dtype=np.float64)
+    if vals.size == 0:
+        return StatSummary.empty()
+    if weights is None:
+        wts = np.ones_like(vals)
+    else:
+        wts = np.asarray(weights, dtype=np.float64)
+        if wts.shape != vals.shape:
+            raise ValueError(
+                f"weights shape {wts.shape} != values shape {vals.shape}"
+            )
+        if (wts < 0).any():
+            raise ValueError("weights must be non-negative")
+    total = float(wts.sum())
+    if total <= 0:
+        return StatSummary.empty()
+    mean = float(np.average(vals, weights=wts))
+    var = float(np.average((vals - mean) ** 2, weights=wts))
+    return StatSummary(
+        count=int(vals.size),
+        weight=total,
+        mean=mean,
+        minimum=float(vals.min()),
+        maximum=float(vals.max()),
+        p90=weighted_quantile(vals, wts, 0.90),
+        p95=weighted_quantile(vals, wts, 0.95),
+        p99=weighted_quantile(vals, wts, 0.99),
+        std=float(np.sqrt(var)),
+    )
+
+
+@dataclass
+class TimeSeries:
+    """An (irregular) time series with binning and trend helpers."""
+
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time {time} is before last sample {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def window(self, start: float, end: float = float("inf")) -> "TimeSeries":
+        """Sub-series with start <= t < end."""
+        out = TimeSeries()
+        for t, v in zip(self.times, self.values):
+            if start <= t < end:
+                out.times.append(t)
+                out.values.append(v)
+        return out
+
+    def slope_per_s(self) -> float:
+        """Least-squares slope (value units per second); 0 if < 2 points."""
+        if len(self.times) < 2:
+            return 0.0
+        t = np.asarray(self.times)
+        v = np.asarray(self.values)
+        t = t - t.mean()
+        denom = float((t**2).sum())
+        if denom == 0:
+            return 0.0
+        return float((t * (v - v.mean())).sum() / denom)
+
+    def mean(self) -> float:
+        if not self.values:
+            return float("nan")
+        return float(np.mean(self.values))
+
+    def max(self) -> float:
+        if not self.values:
+            return float("nan")
+        return float(np.max(self.values))
+
+    def binned(
+        self,
+        bin_s: float,
+        agg: Callable[[np.ndarray], float] = np.mean,
+        start: Optional[float] = None,
+    ) -> "TimeSeries":
+        """Aggregate into fixed bins (bin timestamp = bin start)."""
+        if bin_s <= 0:
+            raise ValueError("bin_s must be positive")
+        out = TimeSeries()
+        if not self.times:
+            return out
+        t = np.asarray(self.times)
+        v = np.asarray(self.values)
+        t0 = t[0] if start is None else start
+        bins = np.floor((t - t0) / bin_s).astype(int)
+        for b in np.unique(bins):
+            mask = bins == b
+            out.times.append(t0 + float(b) * bin_s)
+            out.values.append(float(agg(v[mask])))
+        return out
+
+    def summary(self) -> StatSummary:
+        return weighted_summary(self.values)

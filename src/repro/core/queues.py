@@ -1,0 +1,186 @@
+"""In-memory queues between the data generators and the SUT sources.
+
+Section III-B: "we add a queue between each data generator and the SUT's
+source operators in order to even out the difference in the rates of
+data generation and data ingestion"; each generator/queue pair shares a
+driver machine, and queue data stays in memory.  Crucially (Section
+III-C), *throughput is measured at these queues* and events are
+timestamped at generation -- "the longer an event stays in a queue, the
+higher its latency."
+
+The queue also implements the failure rule of Section VI-A: "If the SUT
+drops one or more connections to the data generator queue, then the
+driver halts the experiment with the conclusion that the SUT cannot
+sustain the given throughput."  A queue that exceeds its capacity models
+exactly that connection drop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.core.records import Record
+from repro.sim.failures import ConnectionDropped
+
+
+class DriverQueue:
+    """FIFO queue of event cohorts between one generator and the SUT.
+
+    Weights are fractional: a pull may split a cohort so that exactly
+    the granted event budget is consumed, preserving total weight.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity_weight: float = float("inf"),
+    ) -> None:
+        self.name = name
+        self.capacity_weight = capacity_weight
+        self._items: Deque[Record] = deque()
+        self._queued_weight = 0.0
+        self.pushed_weight = 0.0
+        self.pulled_weight = 0.0
+        self._frontier_event_time = float("-inf")
+        self._last_pulled_event_time = float("-inf")
+        self.dropped = False
+
+    @property
+    def queued_weight(self) -> float:
+        """Events currently waiting in the queue."""
+        return self._queued_weight
+
+    @property
+    def frontier_event_time(self) -> float:
+        """Event-time of the newest record ever pushed."""
+        return self._frontier_event_time
+
+    @property
+    def watermark(self) -> float:
+        """Event-time through which the SUT has consumed this queue.
+
+        If the queue is empty, everything generated so far has been
+        ingested, so the watermark advances to the generation frontier.
+        """
+        if not self._items:
+            return self._frontier_event_time
+        return self._last_pulled_event_time
+
+    def push(self, record: Record, at_time: float = float("nan")) -> None:
+        """Generator side: enqueue one cohort.
+
+        Raises :class:`ConnectionDropped` when the queue overflows --
+        the paper's SUT-cannot-sustain failure condition.
+        """
+        if self.dropped:
+            raise ConnectionDropped(
+                f"queue {self.name} connection already dropped", at_time=at_time
+            )
+        if self._queued_weight + record.weight > self.capacity_weight:
+            self.dropped = True
+            raise ConnectionDropped(
+                f"queue {self.name} overflowed "
+                f"({self._queued_weight + record.weight:.0f} events > "
+                f"capacity {self.capacity_weight:.0f})",
+                at_time=at_time,
+            )
+        self._items.append(record)
+        self._queued_weight += record.weight
+        self.pushed_weight += record.weight
+        if record.event_time > self._frontier_event_time:
+            self._frontier_event_time = record.event_time
+
+    def pull(self, max_weight: float) -> List[Record]:
+        """SUT side: dequeue up to ``max_weight`` events (FIFO).
+
+        The head cohort is split if only part of it fits the budget;
+        total weight is conserved exactly.
+        """
+        if max_weight <= 0:
+            return []
+        pulled: List[Record] = []
+        remaining = max_weight
+        while self._items and remaining > 1e-9:
+            head = self._items[0]
+            if head.weight <= remaining:
+                self._items.popleft()
+                taken = head
+            else:
+                taken = Record(
+                    key=head.key,
+                    value=head.value,
+                    event_time=head.event_time,
+                    weight=remaining,
+                    stream=head.stream,
+                )
+                head.weight -= remaining
+            self._queued_weight -= taken.weight
+            self.pulled_weight += taken.weight
+            remaining -= taken.weight
+            if taken.event_time > self._last_pulled_event_time:
+                self._last_pulled_event_time = taken.event_time
+            pulled.append(taken)
+        if not self._items:
+            # Clear float residue so emptiness and zero weight agree.
+            self._queued_weight = 0.0
+        elif self._queued_weight < 0.0:
+            self._queued_weight = 0.0
+        return pulled
+
+    def head_event_time(self) -> Optional[float]:
+        """Event-time of the oldest queued record, or None when empty."""
+        if not self._items:
+            return None
+        return self._items[0].event_time
+
+    def oldest_wait(self, now: float) -> float:
+        """How long the oldest queued event has been waiting (0 if empty)."""
+        head = self.head_event_time()
+        if head is None:
+            return 0.0
+        return max(0.0, now - head)
+
+
+class QueueSet:
+    """All driver queues of a deployment, with aggregate views.
+
+    The driver samples aggregate occupancy (the sustainability signal)
+    and throughput (pulled weight per interval) here, keeping all
+    measurement strictly outside the SUT.
+    """
+
+    def __init__(self, queues: List[DriverQueue]) -> None:
+        if not queues:
+            raise ValueError("need at least one queue")
+        self.queues = list(queues)
+
+    def __iter__(self):
+        return iter(self.queues)
+
+    def __len__(self) -> int:
+        return len(self.queues)
+
+    @property
+    def total_queued_weight(self) -> float:
+        return sum(q.queued_weight for q in self.queues)
+
+    @property
+    def total_pulled_weight(self) -> float:
+        return sum(q.pulled_weight for q in self.queues)
+
+    @property
+    def total_pushed_weight(self) -> float:
+        return sum(q.pushed_weight for q in self.queues)
+
+    @property
+    def watermark(self) -> float:
+        """SUT ingestion watermark: the minimum over all queues."""
+        return min(q.watermark for q in self.queues)
+
+    @property
+    def any_dropped(self) -> bool:
+        return any(q.dropped for q in self.queues)
+
+    def max_oldest_wait(self, now: float) -> float:
+        return max(q.oldest_wait(now) for q in self.queues)

@@ -1,0 +1,131 @@
+"""Rendering of paper-style tables and figure series.
+
+Every benchmark prints its results through these helpers so that the
+output lines up visually with the paper's Tables I-IV and carries the
+published values side by side for shape comparison ("paper" columns are
+for orientation only -- this substrate is a simulator, not the authors'
+testbed; the claim is about shape, not absolute numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.metrics import StatSummary, TimeSeries
+
+
+def _format_rate(rate: float) -> str:
+    return f"{rate / 1e6:.2f} M/s"
+
+
+def throughput_table(
+    title: str,
+    measured: Mapping[Tuple[str, int], float],
+    paper: Optional[Mapping[Tuple[str, int], float]] = None,
+    workers: Sequence[int] = (2, 4, 8),
+) -> str:
+    """Render a Table I / Table III style sustainable-throughput table.
+
+    ``measured`` and ``paper`` map (engine, workers) to events/s.
+    """
+    engines = sorted({engine for engine, _ in measured})
+    lines = [title]
+    header = ["engine".ljust(8)]
+    for w in workers:
+        header.append(f"{w}-node".rjust(12))
+        if paper is not None:
+            header.append("paper".rjust(12))
+    lines.append(" ".join(header))
+    for engine in engines:
+        row = [engine.ljust(8)]
+        for w in workers:
+            value = measured.get((engine, w))
+            row.append(
+                (_format_rate(value) if value is not None else "--").rjust(12)
+            )
+            if paper is not None:
+                ref = paper.get((engine, w))
+                row.append(
+                    (_format_rate(ref) if ref is not None else "--").rjust(12)
+                )
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def latency_table(
+    title: str,
+    measured: Mapping[Tuple[str, int], StatSummary],
+    paper: Optional[Mapping[Tuple[str, int], Tuple[float, ...]]] = None,
+    workers: Sequence[int] = (2, 4, 8),
+) -> str:
+    """Render a Table II / Table IV style latency-statistics table.
+
+    ``measured`` maps (row label, workers) to a :class:`StatSummary`;
+    row labels are e.g. ``"flink"`` and ``"flink(90%)"``.  ``paper``
+    optionally maps the same keys to the published
+    (avg, min, max, q90, q95, q99) tuples.
+    """
+    labels = sorted({label for label, _ in measured})
+    lines = [title, "rows: avg min max (q90, q95, q99), seconds"]
+    for label in labels:
+        for w in workers:
+            summary = measured.get((label, w))
+            if summary is None:
+                continue
+            line = f"{label:<12} {w}-node  {summary.row()}"
+            if paper is not None and (label, w) in paper:
+                avg, mn, mx, q90, q95, q99 = paper[(label, w)]
+                line += (
+                    f"   | paper: {avg:.2g} {mn:.2g} {mx:.2g} "
+                    f"({q90:.2g}, {q95:.2g}, {q99:.2g})"
+                )
+            lines.append(line)
+    return "\n".join(lines)
+
+
+def series_table(
+    title: str,
+    series: Mapping[str, TimeSeries],
+    bin_s: Optional[float] = None,
+    max_rows: int = 40,
+    unit: str = "",
+) -> str:
+    """Render labelled time series as aligned text columns.
+
+    Used for the figure benchmarks: each paper figure panel becomes a
+    labelled column; ``bin_s`` resamples before printing.
+    """
+    prepared: Dict[str, TimeSeries] = {}
+    for label, ts in series.items():
+        prepared[label] = ts if bin_s is None else ts.binned(bin_s)
+    all_times = sorted({t for ts in prepared.values() for t in ts.times})
+    if len(all_times) > max_rows:
+        stride = (len(all_times) + max_rows - 1) // max_rows
+        all_times = all_times[::stride]
+    labels = list(prepared)
+    lines = [title]
+    header = "time(s)".rjust(9) + "".join(lbl.rjust(16) for lbl in labels)
+    lines.append(header)
+    lookup = {
+        label: dict(zip(ts.times, ts.values)) for label, ts in prepared.items()
+    }
+    for t in all_times:
+        row = f"{t:9.1f}"
+        for label in labels:
+            value = lookup[label].get(t)
+            row += (f"{value:14.3f}{unit}" if value is not None else "--".rjust(16))[
+                -16:
+            ].rjust(16)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def shape_check(
+    description: str, condition: bool, detail: str = ""
+) -> Tuple[bool, str]:
+    """Format a qualitative shape assertion (who wins, crossovers)."""
+    status = "OK " if condition else "MISS"
+    line = f"[{status}] {description}"
+    if detail:
+        line += f" -- {detail}"
+    return condition, line

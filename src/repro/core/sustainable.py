@@ -1,0 +1,164 @@
+"""Sustainable throughput (Definition 5) and the search that finds it.
+
+"Sustainable throughput is the highest load of event traffic that a
+system can handle without exhibiting prolonged backpressure, i.e.,
+without a continuously increasing event-time latency."  Operationally
+(Section IV-B): "we run each of the systems with a very high generation
+rate and we decrease it until the system can sustain that data
+generation rate.  We allow for some fluctuation, i.e., we allow a
+maximum number of events to be queued, as soon as the queue does not
+continuously increase."
+
+A trial is judged sustainable from three driver-side signals, plus the
+hard failure rules:
+
+1. no SUT failure (dropped queue connection, stall, OOM);
+2. the queue backlog does not continuously increase (occupancy trend
+   bounded relative to the offered rate), and the end-of-run queueing
+   delay stays bounded (the "maximum number of events queued" tolerance);
+3. the event-time latency trend over the measurement period stays flat.
+
+The search itself refines the rate by bisection between a known-good
+floor and the probe ceiling, which is the paper's decrease-until-
+sustained procedure with logarithmically fewer trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional
+
+from repro.core.driver import TrialResult
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.latency import EVENT_TIME
+
+
+@dataclass(frozen=True)
+class SustainabilityCriteria:
+    """Tolerances of the sustainability judgement."""
+
+    max_occupancy_slope_frac: float = 0.005
+    """Queue growth tolerated, as a fraction of the offered rate (a
+    sub-percent persistent drift is "fluctuation", more is divergence --
+    at the paper's rates a 2% drift would add seconds of queueing
+    latency within a trial, saturating the "sustainable" maximum)."""
+    max_queue_delay_s: float = 5.0
+    """Age of the oldest queued event, averaged over the final quarter
+    of the run -- the "maximum number of events queued" rule."""
+    max_latency_slope: float = 0.03
+    """Tolerated event-time latency growth (seconds per second)."""
+    min_outputs: int = 1
+    """The SUT must have produced at least this many output tuples."""
+
+
+@dataclass(frozen=True)
+class SustainabilityVerdict:
+    sustainable: bool
+    reasons: List[str]
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.sustainable
+
+
+def assess(
+    result: TrialResult,
+    criteria: SustainabilityCriteria = SustainabilityCriteria(),
+) -> SustainabilityVerdict:
+    """Judge one trial against Definition 5."""
+    reasons: List[str] = []
+    if result.failed:
+        reasons.append(f"SUT failure: {result.failure}")
+    start = result.measurement_start
+    offered = result.throughput.offered_series.window(start).mean()
+    if offered and offered > 0:
+        slope = result.throughput.occupancy_slope(start)
+        if slope > criteria.max_occupancy_slope_frac * offered:
+            reasons.append(
+                f"queue backlog grows at {slope:.0f} events/s "
+                f"(> {criteria.max_occupancy_slope_frac:.0%} of offered "
+                f"{offered:.0f}/s)"
+            )
+    queue_delay = result.throughput.queue_delay_at_end()
+    if queue_delay > criteria.max_queue_delay_s:
+        reasons.append(
+            f"oldest queued event is {queue_delay:.1f}s old at end "
+            f"(> {criteria.max_queue_delay_s:.1f}s)"
+        )
+    latency_slope = result.collector.trend_slope(EVENT_TIME, start_time=start)
+    if latency_slope > criteria.max_latency_slope:
+        reasons.append(
+            f"event-time latency increases at {latency_slope:.3f} s/s "
+            f"(> {criteria.max_latency_slope} s/s)"
+        )
+    if len(result.collector) < criteria.min_outputs:
+        reasons.append("SUT produced no output tuples")
+    return SustainabilityVerdict(sustainable=not reasons, reasons=reasons)
+
+
+@dataclass
+class SearchTrial:
+    rate: float
+    result: TrialResult
+    verdict: SustainabilityVerdict
+
+
+@dataclass
+class SustainableSearchResult:
+    """Outcome of a sustainable-throughput search."""
+
+    sustainable_rate: float
+    trials: List[SearchTrial] = field(default_factory=list)
+
+    @property
+    def trial_count(self) -> int:
+        return len(self.trials)
+
+    def best_trial(self) -> Optional[SearchTrial]:
+        """The sustainable trial at the highest rate (None if none)."""
+        good = [t for t in self.trials if t.verdict.sustainable]
+        if not good:
+            return None
+        return max(good, key=lambda t: t.rate)
+
+
+def find_sustainable_throughput(
+    spec: ExperimentSpec,
+    high_rate: float,
+    low_rate: float = 0.0,
+    rel_tol: float = 0.05,
+    criteria: SustainabilityCriteria = SustainabilityCriteria(),
+    max_trials: int = 12,
+    run: Callable[[ExperimentSpec], TrialResult] = run_experiment,
+) -> SustainableSearchResult:
+    """Find the highest sustainable constant rate for ``spec``.
+
+    ``spec``'s profile is overridden with constant rates.  The probe
+    starts at ``high_rate`` ("a very high generation rate"); if the SUT
+    sustains it, that rate is returned (the ceiling -- e.g. Flink's
+    network bound).  Otherwise the rate is refined by bisection until
+    the bracket is within ``rel_tol`` of itself.
+    """
+    if high_rate <= low_rate:
+        raise ValueError(
+            f"need high_rate > low_rate, got ({low_rate}, {high_rate})"
+        )
+    trials: List[SearchTrial] = []
+
+    def probe(rate: float) -> SustainabilityVerdict:
+        result = run(spec.with_rate(rate))
+        verdict = assess(result, criteria)
+        trials.append(SearchTrial(rate=rate, result=result, verdict=verdict))
+        return verdict
+
+    if probe(high_rate).sustainable:
+        return SustainableSearchResult(sustainable_rate=high_rate, trials=trials)
+    lo, hi = low_rate, high_rate
+    best = low_rate
+    while len(trials) < max_trials and (hi - lo) > rel_tol * hi:
+        mid = (lo + hi) / 2.0
+        if probe(mid).sustainable:
+            lo = mid
+            best = max(best, mid)
+        else:
+            hi = mid
+    return SustainableSearchResult(sustainable_rate=best, trials=trials)

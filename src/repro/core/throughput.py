@@ -1,0 +1,98 @@
+"""Driver-side throughput and queue-occupancy measurement.
+
+Section III-C: "we measure throughput at the queues between the data
+generator and the SUT" -- throughput is the rate at which the SUT
+*pulls* events out of the driver queues, not the rate of result tuples
+(which differs from the input rate for aggregations, as the paper notes
+about prior work).  The same monitor samples queue occupancy, which is
+the raw signal behind the sustainable-throughput test and behind
+"observing backpressure" from outside the SUT (Experiment 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.metrics import TimeSeries
+from repro.core.queues import QueueSet
+from repro.sim.simulator import PeriodicProcess, Simulator
+
+
+class ThroughputMonitor:
+    """Periodic sampler of the driver queues.
+
+    Series produced (all timestamped at the *end* of each interval):
+
+    - ``ingest_series``: events/s pulled by the SUT (Figure 9);
+    - ``offered_series``: events/s pushed by the generators;
+    - ``occupancy_series``: events waiting across all queues;
+    - ``queue_delay_series``: age of the oldest queued event, i.e. the
+      event-time latency floor imposed by queueing right now.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        queues: QueueSet,
+        interval_s: float = 1.0,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self._sim = sim
+        self._queues = queues
+        self.interval_s = interval_s
+        self.ingest_series = TimeSeries()
+        self.offered_series = TimeSeries()
+        self.occupancy_series = TimeSeries()
+        self.queue_delay_series = TimeSeries()
+        self._last_pulled = queues.total_pulled_weight
+        self._last_pushed = queues.total_pushed_weight
+        self._process: Optional[PeriodicProcess] = sim.every(
+            interval_s, self._sample
+        )
+
+    def _sample(self, sim: Simulator) -> None:
+        pulled = self._queues.total_pulled_weight
+        pushed = self._queues.total_pushed_weight
+        self.ingest_series.append(
+            sim.now, (pulled - self._last_pulled) / self.interval_s
+        )
+        self.offered_series.append(
+            sim.now, (pushed - self._last_pushed) / self.interval_s
+        )
+        self.occupancy_series.append(sim.now, self._queues.total_queued_weight)
+        self.queue_delay_series.append(
+            sim.now, self._queues.max_oldest_wait(sim.now)
+        )
+        self._last_pulled = pulled
+        self._last_pushed = pushed
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    def mean_ingest_rate(self, start_time: float = 0.0) -> float:
+        """Average pull rate after ``start_time`` (the measured
+        throughput reported in Tables I and III)."""
+        window = self.ingest_series.window(start_time)
+        return window.mean() if len(window) else 0.0
+
+    def occupancy_slope(self, start_time: float = 0.0) -> float:
+        """Queue growth in events/s -- the backlog trend."""
+        return self._queues_window(self.occupancy_series, start_time).slope_per_s()
+
+    def queue_delay_at_end(self, tail_fraction: float = 0.25) -> float:
+        """Mean oldest-event age over the final fraction of the run."""
+        series = self.queue_delay_series
+        if not len(series):
+            return 0.0
+        t0 = series.times[0]
+        t1 = series.times[-1]
+        cut = t1 - (t1 - t0) * tail_fraction
+        tail = series.window(cut)
+        return tail.mean() if len(tail) else 0.0
+
+    @staticmethod
+    def _queues_window(series: TimeSeries, start_time: float) -> TimeSeries:
+        return series.window(start_time)

@@ -1,0 +1,363 @@
+"""The generic engine interface and shared execution machinery.
+
+The paper's future work calls for "a generic interface that users can
+plug into any stream data processing system, in order to facilitate and
+simplify benchmark SDPSs".  :class:`StreamingEngine` is that interface:
+the driver only ever sees ``start`` / ``stop``, the failure flag, and
+diagnostics -- every measurement happens outside the engine, at the
+queues and the sink.
+
+Shared machinery implemented here:
+
+- the engine tick: every ``tick_interval_s`` the engine asks its
+  backpressure mechanism for an ingest budget, converts it to bytes,
+  asks the data plane for a grant (this is where network saturation
+  binds), pulls records from the driver queues through the
+  :class:`~repro.engines.operators.source.SourceSet`, and hands them to
+  the engine-specific ``_process``;
+- JVM pause modelling (a seeded Poisson process of lognormal pauses)
+  that suspends ingest and processing -- the source of the latency tails
+  in Tables II/IV;
+- CPU and network accounting into the resource monitor (Figure 10);
+- state accounting against the engine's :class:`StateBackend`
+  (Experiments 3 and 4).
+
+Subclasses implement ``_capacity_events_per_s`` (usually delegated to
+the calibrated cost model), ``_process`` (windowing pipeline), and
+``_on_tick_end`` (window closing / job scheduling).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.queues import QueueSet
+from repro.core.records import PURCHASES, Record
+from repro.engines.backpressure import BackpressureMechanism
+from repro.engines.calibration import CostModel, cost_model_for
+from repro.engines.operators.sink import Sink
+from repro.engines.operators.source import SourceSet
+from repro.engines.state import StateBackend, StatePolicy
+from repro.sim.cluster import ClusterSpec
+from repro.sim.failures import SutFailure
+from repro.sim.network import DataPlane
+from repro.sim.resources import ResourceMonitor
+from repro.sim.simulator import PeriodicProcess, Simulator
+from repro.workloads.events import (
+    AGG_RESULT_BYTES,
+    JOIN_RESULT_BYTES,
+    event_bytes,
+)
+from repro.workloads.queries import Query, WindowedJoinQuery
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs common to all engines (Section VI-A: "Tuning the
+    engines' configuration parameters is important to get a good
+    performance for every system")."""
+
+    tick_interval_s: float = 0.05
+    buffer_seconds: float = 1.0
+    """Internal buffer capacity expressed in seconds of processing
+    capacity -- the paper's "buffer size" knob: small buffers lower
+    processing-time latency but push queueing into the driver queues."""
+    pipeline_delay_s: float = 0.05
+    """Source-to-sink latency of an unloaded pipeline (serialization,
+    hops)."""
+    gc_rate_per_s: float = 0.02
+    gc_pause_mean_s: float = 0.3
+    gc_pause_sigma: float = 0.5
+    """JVM pause process: Poisson arrivals, lognormal durations."""
+    heap_fraction: float = 0.4
+    emit_jitter_sigma: float = 0.0
+    """Lognormal sigma of multiplicative jitter on window-emission
+    delays (coordination noise; grows with cluster size for Storm)."""
+    allowed_lateness_s: float = 0.0
+    """Hold windows open this long past the watermark to admit
+    out-of-order stragglers (the paper's future-work extension; honoured
+    by the engines' window-close conditions).  Zero reproduces the
+    paper's in-order setup exactly."""
+    recovery_pause_s: float = 6.0
+    """Processing outage after a worker-node failure while the engine
+    re-schedules (lineage recomputation, checkpoint restore, topology
+    rebalancing -- see each engine's default)."""
+
+    def with_overrides(self, **kwargs) -> "EngineConfig":
+        return replace(self, **kwargs)
+
+
+class StreamingEngine(ABC):
+    """Abstract system under test.
+
+    Lifecycle: construct -> ``start(queues, sink)`` -> (simulator runs;
+    the engine ticks itself) -> ``stop()``.  A failure during the run
+    (connection drop is raised at the queue; stalls and OOM inside the
+    engine) sets :attr:`failure` and freezes the engine, and the driver
+    reports the trial as failed.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: ClusterSpec,
+        query: Query,
+        plane: DataPlane,
+        rng: np.random.Generator,
+        resources: Optional[ResourceMonitor] = None,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.query = query
+        self.plane = plane
+        self.rng = rng
+        self.resources = resources
+        self.config = config or self.default_config()
+        self.cost: CostModel = self._resolve_cost_model()
+        self.state = StateBackend(
+            cluster,
+            StatePolicy(
+                can_spill=self.supports_spill(),
+                heap_fraction=self.config.heap_fraction,
+            ),
+        )
+        self.sink: Optional[Sink] = None
+        self.source: Optional[SourceSet] = None
+        self.failure: Optional[SutFailure] = None
+        self.ingested_weight = 0.0
+        self._active_workers = cluster.workers
+        self.state_lost_weight = 0.0
+        self._tick_process: Optional[PeriodicProcess] = None
+        self._paused_until = -1.0
+        self._hot_fraction = query.keys.hot_fraction()
+        self._ingest_bytes_per_event = self._mean_event_bytes()
+        self._result_bytes_per_output_weight = (
+            JOIN_RESULT_BYTES
+            if isinstance(query, WindowedJoinQuery)
+            else AGG_RESULT_BYTES
+        )
+        self._last_state_bytes = 0.0
+
+    # -- configuration hooks -------------------------------------------------
+
+    @classmethod
+    def default_config(cls) -> EngineConfig:
+        return EngineConfig()
+
+    def _resolve_cost_model(self) -> CostModel:
+        """Look up this engine's performance characterisation.
+
+        Custom engines (the paper's pluggable-SUT future work) either
+        register a model via
+        :func:`repro.engines.calibration.register_cost_model` or
+        override this hook to return one directly.
+        """
+        return cost_model_for(self.name, self.query.kind)
+
+    @classmethod
+    def supports_spill(cls) -> bool:
+        """Whether operator state can spill to disk (Experiment 3)."""
+        return True
+
+    @abstractmethod
+    def _backpressure(self) -> BackpressureMechanism:
+        """The engine's flow-control mechanism."""
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, queues: QueueSet, sink: Sink) -> None:
+        if self._tick_process is not None:
+            raise RuntimeError(f"{self.name} engine already started")
+        self.source = SourceSet(queues)
+        self.sink = sink
+        self._tick_process = self.sim.every(
+            self.config.tick_interval_s, self._tick, start=self.sim.now
+        )
+
+    def stop(self) -> None:
+        if self._tick_process is not None:
+            self._tick_process.stop()
+            self._tick_process = None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+    # -- capacity -------------------------------------------------------------
+
+    def _capacity_events_per_s(self) -> float:
+        """Current CPU-bound ingest capacity (events/s).
+
+        Applies the calibrated cost model, the key-skew slot bound
+        (Experiment 4), and the state-pressure multiplier (spilling
+        slows processing, Experiment 3).
+        """
+        base = self.cost.skew_capacity_events_per_s(
+            self.cluster, self._hot_fraction
+        )
+        base *= self._active_workers / self.cluster.workers
+        return base / self.state.cost_multiplier
+
+    def _mean_event_bytes(self) -> float:
+        sizes = [event_bytes(stream) for stream in self.query.streams]
+        return sum(sizes) / len(sizes)
+
+    # -- the tick ------------------------------------------------------------
+
+    def _tick(self, sim: Simulator) -> None:
+        if self.failed:
+            return
+        dt = self.config.tick_interval_s
+        try:
+            if self._in_gc_pause(sim.now, dt):
+                # The JVM is stopped: no ingest, no processing, no window
+                # evaluation this tick.
+                return
+            capacity = self._capacity_events_per_s()
+            assert self.source is not None
+            backlog = self._internal_backlog_weight()
+            budget = self._backpressure().ingest_budget(
+                dt=dt,
+                capacity_events_per_s=capacity,
+                buffered_events=backlog,
+                buffer_capacity_events=max(
+                    capacity * self.config.buffer_seconds, 1.0
+                ),
+            )
+            budget = self._modulate_ingest_budget(budget, dt)
+            budget = self._apply_network_grant(budget)
+            if budget > 0:
+                records = self.source.pull(budget, ingest_time=sim.now)
+                if records:
+                    self._account_ingest(records, dt)
+                    self._process(records, dt)
+            self._on_tick_end(dt)
+        except SutFailure as failure:
+            self._fail(failure)
+
+    def _fail(self, failure: SutFailure) -> None:
+        if self.failure is None:
+            self.failure = failure
+        self.stop()
+
+    def _apply_network_grant(self, budget_events: float) -> float:
+        """Convert the ingest budget to bytes and ask the data plane.
+
+        This is where Flink's aggregation throughput flattens at
+        ~1.2 M events/s: CPU would allow more, the wire does not.
+        """
+        if budget_events <= 0:
+            return 0.0
+        wanted_bytes = budget_events * self._ingest_bytes_per_event
+        granted_bytes = self.plane.allocate(wanted_bytes, kind="ingest")
+        return granted_bytes / self._ingest_bytes_per_event
+
+    def _account_ingest(self, records: List[Record], dt: float) -> None:
+        weight = sum(r.weight for r in records)
+        self.ingested_weight += weight
+        if self.resources is not None:
+            core_seconds = weight * self.cost.total_cost_us / 1e6
+            self.resources.add_cpu(core_seconds)
+            self.resources.add_network(weight * self._ingest_bytes_per_event)
+
+    def _account_emission(self, output_weight: float) -> None:
+        if output_weight <= 0:
+            return
+        result_bytes = output_weight * self._result_bytes_per_output_weight
+        self.plane.allocate(result_bytes, kind="result")
+        if self.resources is not None:
+            self.resources.add_network(result_bytes)
+
+    def _update_state_usage(self, stored_weight: float) -> None:
+        """Reconcile the state backend with the current buffered volume."""
+        target = stored_weight * self.cost.state_bytes_per_event
+        delta = target - self._last_state_bytes
+        if delta > 0:
+            self.state.charge(delta, at_time=self.sim.now)
+        elif delta < 0:
+            self.state.release(-delta)
+        self._last_state_bytes = target
+
+    # -- node failures ----------------------------------------------------------
+
+    def inject_node_failure(self, nodes: int = 1) -> None:
+        """Kill ``nodes`` workers now (Related Work extension).
+
+        The engine permanently loses the workers' capacity, pauses for
+        its configured recovery time, and applies its state-recovery
+        semantics via :meth:`_on_node_failure`.
+        """
+        if self.failed:
+            return
+        nodes = min(nodes, self._active_workers - 1)
+        if nodes <= 0:
+            return
+        lost_fraction = nodes / self._active_workers
+        self._active_workers -= nodes
+        self._paused_until = max(
+            self._paused_until, self.sim.now + self.config.recovery_pause_s
+        )
+        self._on_node_failure(lost_fraction)
+
+    def _on_node_failure(self, lost_fraction: float) -> None:
+        """State consequences of losing workers; default: state is
+        recovered (checkpointing / lineage), nothing is lost."""
+
+    # -- JVM pauses ------------------------------------------------------------
+
+    def _in_gc_pause(self, now: float, dt: float) -> bool:
+        if now < self._paused_until:
+            return True
+        if self.config.gc_rate_per_s <= 0:
+            return False
+        if self.rng.random() < self.config.gc_rate_per_s * dt:
+            mean = self.config.gc_pause_mean_s
+            sigma = self.config.gc_pause_sigma
+            # Lognormal with the configured mean: mu = ln(mean) - sigma^2/2.
+            mu = np.log(max(mean, 1e-6)) - sigma**2 / 2.0
+            pause = float(self.rng.lognormal(mu, sigma))
+            self._paused_until = now + pause
+            return True
+        return False
+
+    def _emit_jitter(self) -> float:
+        """Multiplicative jitter applied to window-emission delays."""
+        sigma = self.config.emit_jitter_sigma
+        if sigma <= 0:
+            return 1.0
+        return float(self.rng.lognormal(-(sigma**2) / 2.0, sigma))
+
+    # -- engine-specific hooks -------------------------------------------------
+
+    def _internal_backlog_weight(self) -> float:
+        """Events buffered inside the engine (drives throttling)."""
+        return 0.0
+
+    def _modulate_ingest_budget(self, budget: float, dt: float) -> float:
+        """Engine-specific shaping of the per-tick ingest budget (the
+        pull-rate signatures of Figure 9); default: unshaped."""
+        return budget
+
+    @abstractmethod
+    def _process(self, records: List[Record], dt: float) -> None:
+        """Feed ingested records into the windowing pipeline."""
+
+    def _on_tick_end(self, dt: float) -> None:
+        """Close ready windows / advance jobs; default no-op."""
+
+    def diagnostics(self) -> Dict[str, float]:
+        """Engine-internal counters for reports (never used as metrics)."""
+        return {
+            "ingested_weight": self.ingested_weight,
+            "state_used_bytes": self.state.used_bytes,
+            "state_peak_bytes": self.state.peak_bytes,
+            "active_workers": float(self._active_workers),
+            "state_lost_weight": self.state_lost_weight,
+        }

@@ -1,0 +1,86 @@
+"""Twitter Heron: an EXTENSION engine model (not in the paper's tables).
+
+Heron re-implemented Storm's API with per-topology containers, a
+redesigned scheduler, and -- most relevantly for this framework -- a
+*working* backpressure mechanism (spout-level rate control instead of
+the disruptor-queue on/off throttle).  The model therefore reuses
+Storm's operator semantics (tuple-at-a-time, bulk window evaluation, no
+built-in windowed join) while replacing the pathological pieces:
+
+- credit-like spout rate control: smooth ingest, no topology stalls;
+- ~35% lower per-tuple overhead than Storm 1.0.2 (Heron's published
+  motivation was Storm's per-tuple cost; the exact figure here is an
+  assumption, documented as such);
+- the same in-memory window state as Storm (no spill-to-disk).
+
+Calibration status: SPECULATIVE.  Constants extrapolate from the
+calibrated Storm model; nothing here reproduces a published number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.engines.backpressure import BackpressureMechanism, CreditBased
+from repro.engines.calibration import (
+    AGGREGATION,
+    JOIN,
+    CostModel,
+    cost_model_for,
+)
+from repro.engines.storm import StormConfig, StormEngine
+
+#: Assumed per-tuple overhead reduction relative to Storm 1.0.2.
+HERON_COST_FACTOR = 0.65
+
+
+@dataclass(frozen=True)
+class HeronConfig(StormConfig):
+    """Heron defaults: Storm semantics minus the backpressure pathology."""
+
+    stall_rate_per_s: float = 0.0       # no topology stalls
+    surge_stall_prob: float = 0.0       # surges are rate-limited, not fatal
+    coordination_delay_base_s: float = 0.35
+    emit_jitter_sigma: float = 0.25
+    emit_jitter_per_worker: float = 0.03
+    recovery_pause_s: float = 8.0       # container restart via scheduler
+
+
+class HeronEngine(StormEngine):
+    """Storm-compatible engine with mature backpressure (extension)."""
+
+    name = "heron"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Replace Storm's on/off throttle with smooth rate control.
+        self._credit = CreditBased()
+
+    @classmethod
+    def default_config(cls) -> "HeronConfig":
+        return HeronConfig()
+
+    def _resolve_cost_model(self) -> CostModel:
+        storm = cost_model_for("storm", self.query.kind)
+        return replace(
+            storm,
+            engine="heron",
+            pipeline_cost_us=storm.pipeline_cost_us * HERON_COST_FACTOR,
+            keyed_cost_us=storm.keyed_cost_us * HERON_COST_FACTOR,
+            bulk_emit_cost_us=storm.bulk_emit_cost_us * HERON_COST_FACTOR,
+            # Container isolation removes some of Storm's cross-worker
+            # coordination loss (assumption).
+            scaling_efficiency={
+                workers: min(1.0, eff * 1.1)
+                for workers, eff in storm.scaling_efficiency.items()
+            },
+        )
+
+    def _backpressure(self) -> BackpressureMechanism:
+        return self._credit
+
+    def _check_naive_join_health(self) -> None:
+        # Heron inherits Storm's lack of a built-in windowed join, but
+        # its container scheduler keeps the naive join from stalling the
+        # whole topology; it is merely slow.
+        return None

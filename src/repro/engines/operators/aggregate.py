@@ -1,0 +1,173 @@
+"""Windowed aggregation strategies.
+
+All three engines compute the same query -- ``SUM(price) GROUP BY
+gemPackID`` over a sliding window -- but with architecturally different
+execution, which the paper ties directly to the measured differences:
+
+- **Incremental** (Flink): aggregates are folded in on the fly, one
+  keyed update *per containing window* per record (the paper notes Flink
+  "cannot share aggregate results among different sliding windows").
+  State per key is one accumulator; emission at window close is
+  immediate.
+- **Buffered/bulk** (Storm): tuples are buffered and the window is
+  evaluated in bulk at close; state grows with the window volume and the
+  evaluation adds a close-time delay proportional to it.
+- **Mini-batch partials** (Spark): each batch builds per-key partial
+  aggregates (``reduceByKey`` -> ShuffledRDD + MapPartitionsRDD); a
+  window result merges the partials of the batches it spans.  With
+  caching, merged window state is retained across batches ("the cache
+  operation consumes the memory aggressively", Experiment 3); with an
+  **inverse-reduce function** the window state is updated by adding the
+  new batch and subtracting the expired one -- O(keys) instead of
+  O(window volume).
+
+The semantic core (max-event-time anchors) lives in
+:mod:`repro.engines.operators.window`; this module turns closed windows
+and batch partials into output tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.records import OutputRecord, Record
+from repro.engines.operators.window import WindowAccumulator, WindowContents
+from repro.workloads.queries import WindowSpec
+
+
+def aggregation_outputs(
+    contents: WindowContents, emit_time: float
+) -> List[OutputRecord]:
+    """One output tuple per key of a closed window (Definition 3 / 4).
+
+    ``emit_time`` is the simulated time at which the SUT's output
+    operator actually emits -- window close plus any engine-specific
+    evaluation delay; the driver derives both latencies from the
+    returned records.
+    """
+    outputs = []
+    for key, acc in contents.by_key.items():
+        outputs.append(
+            OutputRecord(
+                key=key,
+                value=acc.value,
+                event_time=acc.max_event_time,
+                processing_time=acc.max_processing_time,
+                emit_time=emit_time,
+                weight=1.0,
+                window_end=contents.end_time,
+            )
+        )
+    return outputs
+
+
+class BatchPartialAggregator:
+    """Per-mini-batch partial aggregation (Spark's reduceByKey stage).
+
+    Records arriving during one batch interval are folded into per-key
+    partials *per window index* (a record spans ``windows_per_event``
+    windows).  At batch end the partials are handed to the window state
+    of the job, and the partial store resets for the next batch.
+    """
+
+    def __init__(self, window: WindowSpec) -> None:
+        self.window = window
+        self._partials: Dict[int, Dict[int, WindowAccumulator]] = {}
+        self.batch_weight = 0.0
+
+    def add(self, record: Record) -> int:
+        first, last = self.window.window_index_range(record.event_time)
+        updates = 0
+        for idx in range(first, last + 1):
+            per_key = self._partials.setdefault(idx, {})
+            acc = per_key.get(record.key)
+            if acc is None:
+                acc = WindowAccumulator()
+                per_key[record.key] = acc
+            acc.add(record)
+            updates += 1
+        self.batch_weight += record.weight
+        return updates
+
+    def drain(self) -> Dict[int, Dict[int, WindowAccumulator]]:
+        """Hand the batch's partials to the job and reset."""
+        partials = self._partials
+        self._partials = {}
+        self.batch_weight = 0.0
+        return partials
+
+
+class WindowedPartialMerger:
+    """Merges mini-batch partials into full window results.
+
+    This is the Spark window operator: window results are assembled from
+    the partial aggregates of the batches spanning the window.  With
+    ``inverse_reduce=False`` the merger keeps every batch's partials
+    alive until all windows they touch have closed (the cached-RDD
+    memory profile); with ``inverse_reduce=True`` partials are folded
+    into per-window state immediately and released (the paper's fix).
+    Both modes produce identical results; they differ in state held and
+    (in the engine model) in per-batch cost.
+    """
+
+    def __init__(self, window: WindowSpec, inverse_reduce: bool = False) -> None:
+        self.window = window
+        self.inverse_reduce = inverse_reduce
+        self._window_state: Dict[int, Dict[int, WindowAccumulator]] = {}
+        self._closed_through: Optional[int] = None
+        self.dropped_weight = 0.0
+        """Weight of late partials lost to already-emitted windows
+        (normalised like KeyedWindowStore.dropped_weight)."""
+
+    def absorb(self, partials: Dict[int, Dict[int, WindowAccumulator]]) -> None:
+        """Fold one batch's per-window partials into window state.
+
+        Partials for windows that already closed (stragglers that were
+        still queued when their window was emitted) are dropped, exactly
+        like :class:`KeyedWindowStore` drops late adds.
+        """
+        for idx, per_key in partials.items():
+            if self._closed_through is not None and idx <= self._closed_through:
+                self.dropped_weight += sum(
+                    acc.weight for acc in per_key.values()
+                ) / self.window.windows_per_event
+                continue
+            state = self._window_state.setdefault(idx, {})
+            for key, acc in per_key.items():
+                existing = state.get(key)
+                if existing is None:
+                    existing = WindowAccumulator()
+                    state[key] = existing
+                existing.merge(acc)
+
+    def pop_ready(self, through_end_time: float) -> List[WindowContents]:
+        """Close every window ending at or before ``through_end_time``."""
+        ready = sorted(
+            idx
+            for idx in self._window_state
+            if self.window.window_end(idx) <= through_end_time
+        )
+        closed = []
+        for idx in ready:
+            closed.append(
+                WindowContents(
+                    index=idx,
+                    end_time=self.window.window_end(idx),
+                    start_time=self.window.window_start(idx),
+                    by_key=self._window_state.pop(idx),
+                )
+            )
+            if self._closed_through is None or idx > self._closed_through:
+                self._closed_through = idx
+        return closed
+
+    def stored_weight(self) -> float:
+        return sum(
+            acc.weight
+            for per_key in self._window_state.values()
+            for acc in per_key.values()
+        )
+
+    @property
+    def open_window_count(self) -> int:
+        return len(self._window_state)

@@ -1,0 +1,144 @@
+"""Windowed equi-join of the purchases and ads streams.
+
+Listing 1's join query: purchases and ads over the same sliding window,
+matched on ``(userID, gemPackID)`` (collapsed to one integer key by the
+workload generator).
+
+Latency semantics (Section IV, Figure 2): "In a windowed join operation,
+the containing tuples' event-time is set to be the maximum event-time of
+their window.  Afterwards, each join output is assigned the maximum
+event-time of its matching tuples."  Output tuples therefore carry the
+maximum of the two windows' event-time maxima (in Figure 2, time=600 =
+max(600, 500)), and analogously for processing time.
+
+Selectivity: the expected number of output tuples per ingested purchase
+event.  The paper reduced it so that sink/network traffic would not mask
+engine behaviour; output weight is distributed over keys present on both
+sides, proportionally to the purchase weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.records import ADS, PURCHASES, OutputRecord, Record
+from repro.engines.operators.window import KeyedWindowStore, WindowContents
+from repro.workloads.queries import WindowSpec
+
+
+class JoinWindowStore:
+    """Two keyed window stores, one per input stream."""
+
+    def __init__(self, window: WindowSpec) -> None:
+        self.window = window
+        self.purchases = KeyedWindowStore(window)
+        self.ads = KeyedWindowStore(window)
+
+    def add(self, record: Record) -> int:
+        """Route a record to its side's store; returns keyed updates."""
+        if record.stream == PURCHASES:
+            return self.purchases.add(record)
+        if record.stream == ADS:
+            return self.ads.add(record)
+        raise ValueError(f"record from unknown stream {record.stream!r}")
+
+    def ready_indices(self, watermark: float) -> List[int]:
+        """Windows complete on *both* sides at the given watermark."""
+        ready = set(self.purchases.ready_indices(watermark))
+        ready |= set(self.ads.ready_indices(watermark))
+        return sorted(ready)
+
+    def close(self, index: int) -> "ClosedJoinWindow":
+        return ClosedJoinWindow(
+            index=index,
+            purchases=self.purchases.close(index),
+            ads=self.ads.close(index),
+        )
+
+    def stored_weight(self) -> float:
+        """Total buffered event weight across both build sides."""
+        return self.purchases.stored_weight() + self.ads.stored_weight()
+
+    def lose_fraction(self, fraction: float) -> float:
+        """Discard a fraction of both sides' open window contents."""
+        return self.purchases.lose_fraction(fraction) + self.ads.lose_fraction(
+            fraction
+        )
+
+
+class ClosedJoinWindow:
+    """Both sides of one closed window, ready to be joined."""
+
+    def __init__(
+        self, index: int, purchases: WindowContents, ads: WindowContents
+    ) -> None:
+        self.index = index
+        self.purchases = purchases
+        self.ads = ads
+
+    @property
+    def end_time(self) -> float:
+        return self.purchases.end_time
+
+    @property
+    def total_weight(self) -> float:
+        return self.purchases.total_weight + self.ads.total_weight
+
+    @property
+    def max_event_time(self) -> float:
+        """Maximum event-time across both windows (Figure 2 semantics)."""
+        return max(self.purchases.max_event_time, self.ads.max_event_time)
+
+    @property
+    def max_processing_time(self) -> float:
+        return max(
+            self.purchases.max_processing_time, self.ads.max_processing_time
+        )
+
+
+def join_window_outputs(
+    closed: ClosedJoinWindow,
+    selectivity: float,
+    emit_time: float,
+) -> List[OutputRecord]:
+    """Join one closed window pair into output tuples.
+
+    For every key present on both sides, the output weight is the key's
+    share (by purchase weight) of ``selectivity * total purchase
+    weight``.  All outputs of the window carry the window-level
+    max-event-time anchor, per the paper's join latency definition.
+    """
+    if selectivity < 0:
+        raise ValueError(f"selectivity must be >= 0, got {selectivity}")
+    p_keys: Dict[int, float] = {
+        key: acc.weight for key, acc in closed.purchases.by_key.items()
+    }
+    a_keys = closed.ads.by_key
+    matched_purchase_weight = sum(
+        weight for key, weight in p_keys.items() if key in a_keys
+    )
+    if matched_purchase_weight <= 0 or selectivity == 0:
+        return []
+    total_output_weight = selectivity * closed.purchases.total_weight
+    event_time = closed.max_event_time
+    processing_time = closed.max_processing_time
+    outputs = []
+    for key, p_weight in p_keys.items():
+        a_acc = a_keys.get(key)
+        if a_acc is None:
+            continue
+        out_weight = total_output_weight * (p_weight / matched_purchase_weight)
+        if out_weight <= 0:
+            continue
+        outputs.append(
+            OutputRecord(
+                key=key,
+                value=closed.purchases.by_key[key].value,
+                event_time=event_time,
+                processing_time=processing_time,
+                emit_time=emit_time,
+                weight=out_weight,
+                window_end=closed.end_time,
+            )
+        )
+    return outputs

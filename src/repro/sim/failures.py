@@ -1,0 +1,37 @@
+"""Failure vocabulary for the benchmark's failure rules.
+
+Section VI-A of the paper defines hard failure conditions:
+
+- "If the SUT drops one or more connections to the data generator queue,
+  then the driver halts the experiment with the conclusion that the SUT
+  cannot sustain the given throughput" -> :class:`ConnectionDropped`.
+- Storm's immature backpressure "stalls the topology, causing spouts to
+  stop emitting tuples" -> :class:`TopologyStalled`.
+- Experiment 3/4 memory exhaustion ("we encountered memory exceptions",
+  "the memory is consumed quite fast") -> :class:`OutOfMemory`.
+
+Engines raise these; the driver converts any of them into a failed trial,
+which the sustainable-throughput search treats as "rate not sustainable".
+"""
+
+from __future__ import annotations
+
+
+class SutFailure(RuntimeError):
+    """Base class: the system under test failed during a trial."""
+
+    def __init__(self, message: str, at_time: float = float("nan")) -> None:
+        super().__init__(message)
+        self.at_time = at_time
+
+
+class ConnectionDropped(SutFailure):
+    """The SUT dropped its connection to a driver queue (overload)."""
+
+
+class TopologyStalled(SutFailure):
+    """The topology stopped making progress (Storm backpressure stall)."""
+
+
+class OutOfMemory(SutFailure):
+    """Operator state exceeded the worker memory budget without spill."""

@@ -1,0 +1,37 @@
+"""Worker-node failure injection (Related Work extension).
+
+The paper cites Lopez et al.'s finding that "Spark is more robust to
+node failures but it performs up to an order of magnitude worse than
+Storm and Flink" -- an experiment the paper itself does not run.  This
+module provides the failure-injection half of reproducing it: a
+:class:`NodeFailureSpec` kills one worker node at a configured time.
+
+Engine-side consequences (implemented in the engine models):
+
+- permanent capacity loss: the dead worker's cores and NIC are gone;
+- a recovery pause while the engine re-schedules work (lineage
+  recomputation for Spark, checkpoint restore for Flink, topology
+  rebalancing and tuple replay for Storm);
+- state effects: Spark recomputes lost partitions from lineage and
+  Flink restores from its last checkpoint (no data loss); Storm's
+  non-acked window contents on the dead worker are simply gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NodeFailureSpec:
+    """Kill one worker node during the run."""
+
+    fail_at_s: float = 60.0
+    nodes: int = 1
+    """How many workers fail (simultaneously, at fail_at_s)."""
+
+    def __post_init__(self) -> None:
+        if self.fail_at_s <= 0:
+            raise ValueError(f"fail_at_s must be positive, got {self.fail_at_s}")
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")

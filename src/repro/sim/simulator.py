@@ -1,0 +1,227 @@
+"""The discrete-event simulator at the bottom of the stack.
+
+Every moving part of the reproduction -- data generators, driver queues,
+engine ticks, window triggers, GC pauses, mini-batch job completions --
+is an event scheduled on a single :class:`Simulator` instance.  The
+simulator is strictly deterministic: events fire in (time, sequence)
+order, and all randomness is drawn from seeded streams
+(:mod:`repro.sim.rng`), so a benchmark run is reproducible bit-for-bit.
+
+The simulated clock is a float in **seconds**.  Components that need a
+regular heartbeat (e.g. a generator producing a cohort of events every
+tick) register a :class:`PeriodicProcess` via :meth:`Simulator.every`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator usage (e.g. scheduling in the past)."""
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Opaque handle for a scheduled event; pass to :meth:`Simulator.cancel`.
+
+    The handle is safe to cancel multiple times, and safe to cancel after
+    the event has fired (both are no-ops).
+    """
+
+    time: float
+    seq: int
+
+
+@dataclass
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[..., None]
+    args: Tuple[Any, ...]
+    cancelled: bool = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[_Event] = []
+        self._seq = itertools.count()
+        self._live: dict[int, _Event] = {}
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still scheduled (excluding cancelled ones)."""
+        return len(self._live)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f} < now={self._now:.6f}"
+            )
+        seq = next(self._seq)
+        event = _Event(time=time, seq=seq, callback=callback, args=args)
+        heapq.heappush(self._heap, event)
+        self._live[seq] = event
+        return EventHandle(time=time, seq=seq)
+
+    def cancel(self, handle: Optional[EventHandle]) -> bool:
+        """Cancel a scheduled event.  Returns True if it was still pending."""
+        if handle is None:
+            return False
+        event = self._live.pop(handle.seq, None)
+        if event is None:
+            return False
+        event.cancelled = True
+        return True
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[["Simulator"], None],
+        start: Optional[float] = None,
+    ) -> "PeriodicProcess":
+        """Register a periodic process firing every ``interval`` seconds.
+
+        ``callback`` receives the simulator so it can read the clock and
+        schedule follow-up events.  The first firing happens at ``start``
+        (defaults to ``now + interval``).
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        process = PeriodicProcess(self, interval, callback)
+        process.start_at(self._now + interval if start is None else start)
+        return process
+
+    def _pop_next(self) -> Optional[_Event]:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                self._live.pop(event.seq, None)
+                return event
+        return None
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the heap is empty."""
+        event = self._pop_next()
+        if event is None:
+            return False
+        self._now = event.time
+        event.callback(*event.args)
+        return True
+
+    def run(self) -> None:
+        """Run until no events remain."""
+        self._running = True
+        try:
+            while self._running and self.step():
+                pass
+        finally:
+            self._running = False
+
+    def run_until(self, time: float) -> None:
+        """Run all events with timestamp <= ``time``; advance clock to it."""
+        if time < self._now:
+            raise SimulationError(
+                f"run_until({time:.6f}) is before now={self._now:.6f}"
+            )
+        self._running = True
+        try:
+            while self._running and self._heap:
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if nxt.time > time:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        self._now = max(self._now, time)
+
+    def stop(self) -> None:
+        """Stop a :meth:`run`/:meth:`run_until` loop after the current event."""
+        self._running = False
+
+
+class PeriodicProcess:
+    """A self-rescheduling periodic callback.
+
+    Created through :meth:`Simulator.every`.  ``stop()`` halts it; the
+    interval can be changed on the fly (used by rate-profile changes).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[Simulator], None],
+    ) -> None:
+        self._sim = sim
+        self.interval = float(interval)
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+        self._stopped = False
+        self.fire_count = 0
+
+    def start_at(self, time: float) -> None:
+        if self._handle is not None:
+            raise SimulationError("periodic process already started")
+        self._handle = self._sim.schedule_at(time, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._handle = None
+        self.fire_count += 1
+        self._callback(self._sim)
+        if not self._stopped:
+            self._handle = self._sim.schedule(self.interval, self._fire)
+
+    def stop(self) -> None:
+        """Permanently halt the process."""
+        self._stopped = True
+        self._sim.cancel(self._handle)
+        self._handle = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

@@ -1,0 +1,64 @@
+"""Rovio-inspired online-gaming workload (paper Section V).
+
+Two streams (Listing 1): ``PURCHASES(userID, gemPackID, price, time)``
+and ``ADS(userID, gemPackID, time)``; two query templates: a sliding
+windowed aggregation (``SUM(price) GROUP BY gemPackID``) and a windowed
+join of purchases with ads on ``(userID, gemPackID)``.
+
+This subpackage defines the event schemas and wire sizes, the key
+distributions (normal by default, as in Section VI-A; single-key for the
+skew experiment), the query specifications, and the data-arrival rate
+profiles (constant, and the fluctuating profile of Experiment 5).
+"""
+
+from repro.workloads.disorder import DisorderSpec
+from repro.workloads.events import (
+    AD_EVENT_BYTES,
+    JOIN_RESULT_BYTES,
+    PURCHASE_EVENT_BYTES,
+    AGG_RESULT_BYTES,
+    event_bytes,
+)
+from repro.workloads.keys import (
+    KeyDistribution,
+    NormalKeys,
+    SingleKey,
+    UniformKeys,
+    ZipfKeys,
+)
+from repro.workloads.profiles import (
+    ConstantRate,
+    FluctuatingRate,
+    RateProfile,
+    StepRate,
+    fig6_profile,
+)
+from repro.workloads.queries import (
+    Query,
+    WindowSpec,
+    WindowedAggregationQuery,
+    WindowedJoinQuery,
+)
+
+__all__ = [
+    "AD_EVENT_BYTES",
+    "DisorderSpec",
+    "AGG_RESULT_BYTES",
+    "ConstantRate",
+    "FluctuatingRate",
+    "JOIN_RESULT_BYTES",
+    "KeyDistribution",
+    "NormalKeys",
+    "PURCHASE_EVENT_BYTES",
+    "Query",
+    "RateProfile",
+    "SingleKey",
+    "StepRate",
+    "UniformKeys",
+    "WindowSpec",
+    "WindowedAggregationQuery",
+    "WindowedJoinQuery",
+    "ZipfKeys",
+    "event_bytes",
+    "fig6_profile",
+]

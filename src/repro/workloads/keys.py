@@ -1,0 +1,149 @@
+"""Key distributions for the synthetic streams.
+
+Section VI-A: "We generate events with normal distribution on key field."
+:class:`NormalKeys` is therefore the default.  Experiment 4 studies
+"extreme skew, namely their ability to handle data of a single key" --
+:class:`SingleKey`.  Uniform and Zipf distributions are provided for
+sweeps beyond the paper.
+
+A distribution maps a key-space size to integer keys in
+``[0, num_keys)``.  ``sample`` returns ``n`` keys; ``hot_fraction``
+reports the probability mass of the most popular key, which the engine
+models use to locate the keyed-stage bottleneck under skew.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class KeyDistribution(ABC):
+    """Distribution over integer keys ``0 .. num_keys - 1``."""
+
+    def __init__(self, num_keys: int) -> None:
+        if num_keys < 1:
+            raise ValueError(f"num_keys must be >= 1, got {num_keys}")
+        self.num_keys = int(num_keys)
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` keys as an int array."""
+
+    @abstractmethod
+    def pmf(self) -> np.ndarray:
+        """Per-key probability masses (length ``num_keys``, sums to 1).
+
+        Used by the generator's *dense* mode, which emits one weighted
+        cohort per key per tick instead of sampling keys -- removing
+        sampling noise at benchmark scale (see
+        :mod:`repro.core.generator`).
+        """
+
+    def hot_fraction(self) -> float:
+        """Probability mass of the single most popular key."""
+        return float(self.pmf().max())
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class NormalKeys(KeyDistribution):
+    """Keys drawn from a (truncated, discretised) normal distribution.
+
+    The normal is centred on the middle of the key space with standard
+    deviation ``spread_fraction * num_keys``; draws outside the key space
+    are clipped to the boundary keys (mirroring a bounded catalog of gem
+    packs with popularity concentrated in the middle of the catalog).
+    """
+
+    def __init__(self, num_keys: int, spread_fraction: float = 0.15) -> None:
+        super().__init__(num_keys)
+        if spread_fraction <= 0:
+            raise ValueError("spread_fraction must be positive")
+        self.spread_fraction = float(spread_fraction)
+        self._pmf = self._compute_pmf()
+
+    def _compute_pmf(self) -> np.ndarray:
+        centre = (self.num_keys - 1) / 2.0
+        sigma = self.spread_fraction * self.num_keys
+
+        def cdf(x: float) -> float:
+            return 0.5 * (1.0 + math.erf((x - centre) / (sigma * math.sqrt(2.0))))
+
+        # Key i gets the mass of (i - 0.5, i + 0.5]; the boundary keys
+        # absorb the clipped tails, matching sample()'s np.clip.
+        masses = np.array(
+            [cdf(i + 0.5) - cdf(i - 0.5) for i in range(self.num_keys)]
+        )
+        masses[0] += cdf(-0.5)
+        masses[-1] += 1.0 - cdf(self.num_keys - 0.5)
+        return masses / masses.sum()
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        centre = (self.num_keys - 1) / 2.0
+        sigma = self.spread_fraction * self.num_keys
+        draws = rng.normal(loc=centre, scale=sigma, size=n)
+        return np.clip(np.rint(draws), 0, self.num_keys - 1).astype(np.int64)
+
+    def pmf(self) -> np.ndarray:
+        return self._pmf
+
+
+class UniformKeys(KeyDistribution):
+    """Uniform keys: the no-skew baseline."""
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.integers(0, self.num_keys, size=n, dtype=np.int64)
+
+    def pmf(self) -> np.ndarray:
+        return np.full(self.num_keys, 1.0 / self.num_keys)
+
+
+class SingleKey(KeyDistribution):
+    """All events carry one key: the paper's extreme-skew workload.
+
+    Under this distribution the keyed stage of Flink and Storm runs on a
+    single slot and the deployment stops scaling (Experiment 4).
+    """
+
+    def __init__(self, num_keys: int = 1, key: int = 0) -> None:
+        super().__init__(max(num_keys, 1))
+        if not 0 <= key < self.num_keys:
+            raise ValueError(f"key {key} outside [0, {self.num_keys})")
+        self.key = int(key)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.key, dtype=np.int64)
+
+    def pmf(self) -> np.ndarray:
+        masses = np.zeros(self.num_keys)
+        masses[self.key] = 1.0
+        return masses
+
+
+class ZipfKeys(KeyDistribution):
+    """Zipf-distributed keys (extension beyond the paper's experiments).
+
+    ``exponent`` > 1 controls skew; rank-1 key is the hottest.  Useful
+    for sweeping the space between the paper's normal-distribution and
+    single-key extremes.
+    """
+
+    def __init__(self, num_keys: int, exponent: float = 1.5) -> None:
+        super().__init__(num_keys)
+        if exponent <= 1.0:
+            raise ValueError("Zipf exponent must be > 1")
+        self.exponent = float(exponent)
+        ranks = np.arange(1, self.num_keys + 1, dtype=np.float64)
+        weights = ranks**-self.exponent
+        self._probs = weights / weights.sum()
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(self.num_keys, size=n, p=self._probs).astype(np.int64)
+
+    def pmf(self) -> np.ndarray:
+        return self._probs.copy()

@@ -1,0 +1,139 @@
+"""Data-arrival rate profiles.
+
+The generator produces events "with constant speed throughout the
+experiment" (Section III-C) in the steady-state experiments --
+:class:`ConstantRate`.  Experiment 5 studies fluctuating workloads:
+"We start the benchmark with a workload of 0.84 M/s then decrease it to
+0.28 M/s and increase again after a while" -- :func:`fig6_profile`.
+
+A profile maps simulated time to the *total* generation rate in
+events/second; the driver divides it evenly across generator instances.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+class RateProfile(ABC):
+    """Total target generation rate as a function of simulated time."""
+
+    @abstractmethod
+    def rate_at(self, t: float) -> float:
+        """Events per second at simulated time ``t`` (>= 0)."""
+
+    def scaled(self, factor: float) -> "ScaledRate":
+        """This profile with every rate multiplied by ``factor``.
+
+        Used for the paper's "90%-workload" runs (Tables II and IV show
+        max-throughput and 90%-throughput latencies side by side).
+        """
+        return ScaledRate(self, factor)
+
+    def peak(self, horizon_s: float, resolution_s: float = 1.0) -> float:
+        """Maximum rate over ``[0, horizon_s]`` (sampled)."""
+        steps = max(1, int(horizon_s / resolution_s))
+        return max(self.rate_at(i * resolution_s) for i in range(steps + 1))
+
+
+@dataclass(frozen=True)
+class ConstantRate(RateProfile):
+    """A fixed events/second rate."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+
+    def rate_at(self, t: float) -> float:
+        return self.rate
+
+    def peak(self, horizon_s: float, resolution_s: float = 1.0) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class ScaledRate(RateProfile):
+    """Another profile multiplied by a constant factor."""
+
+    base: RateProfile
+    factor: float
+
+    def rate_at(self, t: float) -> float:
+        return self.base.rate_at(t) * self.factor
+
+
+class StepRate(RateProfile):
+    """Piecewise-constant rate: a list of ``(start_time, rate)`` steps.
+
+    Steps must be in increasing time order; the first step should start
+    at 0.  The rate holds until the next step begins.
+    """
+
+    def __init__(self, steps: Sequence[Tuple[float, float]]) -> None:
+        if not steps:
+            raise ValueError("need at least one (start_time, rate) step")
+        times = [t for t, _ in steps]
+        if times != sorted(times):
+            raise ValueError("steps must be in increasing time order")
+        if any(rate < 0 for _, rate in steps):
+            raise ValueError("rates must be >= 0")
+        self.steps: List[Tuple[float, float]] = [
+            (float(t), float(r)) for t, r in steps
+        ]
+
+    def rate_at(self, t: float) -> float:
+        rate = self.steps[0][1]
+        for start, step_rate in self.steps:
+            if t >= start:
+                rate = step_rate
+            else:
+                break
+        return rate
+
+
+class FluctuatingRate(RateProfile):
+    """High / low / high rate with configurable phase lengths.
+
+    Generalises Experiment 5's spike pattern.  The profile starts at
+    ``high``, drops to ``low`` at ``drop_at``, and recovers to ``high``
+    at ``recover_at``.
+    """
+
+    def __init__(
+        self,
+        high: float,
+        low: float,
+        drop_at: float,
+        recover_at: float,
+    ) -> None:
+        if low > high:
+            raise ValueError(f"low ({low}) must be <= high ({high})")
+        if not 0 <= drop_at < recover_at:
+            raise ValueError("need 0 <= drop_at < recover_at")
+        self._step = StepRate([(0.0, high), (drop_at, low), (recover_at, high)])
+        self.high = high
+        self.low = low
+        self.drop_at = drop_at
+        self.recover_at = recover_at
+
+    def rate_at(self, t: float) -> float:
+        return self._step.rate_at(t)
+
+
+def fig6_profile(duration_s: float = 300.0) -> FluctuatingRate:
+    """The exact Experiment 5 profile: 0.84 M/s -> 0.28 M/s -> 0.84 M/s.
+
+    The paper does not give the phase boundaries; we drop at one third
+    and recover at two thirds of the run, which reproduces the published
+    latency shapes (Figure 6).
+    """
+    return FluctuatingRate(
+        high=0.84e6,
+        low=0.28e6,
+        drop_at=duration_s / 3.0,
+        recover_at=2.0 * duration_s / 3.0,
+    )

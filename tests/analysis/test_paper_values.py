@@ -1,0 +1,74 @@
+"""Sanity checks on the transcribed paper values."""
+
+import pytest
+
+from repro.analysis.paper_values import (
+    PAPER_EXP4_FLINK_SKEW_THROUGHPUT,
+    PAPER_EXP4_SPARK_SKEW_THROUGHPUT_4NODE,
+    PAPER_EXP4_STORM_SKEW_THROUGHPUT,
+    PAPER_TABLE1_AGG_THROUGHPUT,
+    PAPER_TABLE2_AGG_LATENCY,
+    PAPER_TABLE3_JOIN_THROUGHPUT,
+    PAPER_TABLE4_JOIN_LATENCY,
+)
+
+
+class TestTableCompleteness:
+    def test_table1_has_all_nine_cells(self):
+        assert len(PAPER_TABLE1_AGG_THROUGHPUT) == 9
+        for engine in ("storm", "spark", "flink"):
+            for workers in (2, 4, 8):
+                assert (engine, workers) in PAPER_TABLE1_AGG_THROUGHPUT
+
+    def test_table2_has_max_and_90pct_rows(self):
+        assert len(PAPER_TABLE2_AGG_LATENCY) == 18
+        assert ("flink(90%)", 2) in PAPER_TABLE2_AGG_LATENCY
+
+    def test_table3_covers_spark_and_flink(self):
+        assert len(PAPER_TABLE3_JOIN_THROUGHPUT) == 6
+        assert ("storm", 2) not in PAPER_TABLE3_JOIN_THROUGHPUT
+
+    def test_table4_has_12_rows(self):
+        assert len(PAPER_TABLE4_JOIN_LATENCY) == 12
+
+
+class TestInternalConsistency:
+    def test_latency_tuples_ordered(self):
+        for table in (PAPER_TABLE2_AGG_LATENCY, PAPER_TABLE4_JOIN_LATENCY):
+            for key, (avg, mn, mx, q90, q95, q99) in table.items():
+                assert mn <= avg <= mx, key
+                assert q90 <= q95 <= q99, key
+                assert q99 <= mx, key
+
+    def test_flink_agg_is_network_bound_flat(self):
+        rates = [
+            PAPER_TABLE1_AGG_THROUGHPUT[("flink", w)] for w in (2, 4, 8)
+        ]
+        assert len(set(rates)) == 1
+
+    def test_storm_beats_spark_by_about_8_percent(self):
+        for workers in (2, 4, 8):
+            storm = PAPER_TABLE1_AGG_THROUGHPUT[("storm", workers)]
+            spark = PAPER_TABLE1_AGG_THROUGHPUT[("spark", workers)]
+            assert storm / spark == pytest.approx(1.07, abs=0.04)
+
+    def test_90pct_latencies_not_above_max_load(self):
+        for (label, workers), stats in PAPER_TABLE2_AGG_LATENCY.items():
+            if "(90%)" not in label:
+                continue
+            full = PAPER_TABLE2_AGG_LATENCY[(label.replace("(90%)", ""), workers)]
+            assert stats[0] <= full[0], (label, workers)
+
+    def test_skew_throughputs_below_unskewed(self):
+        assert (
+            PAPER_EXP4_FLINK_SKEW_THROUGHPUT
+            < PAPER_TABLE1_AGG_THROUGHPUT[("flink", 2)]
+        )
+        assert (
+            PAPER_EXP4_STORM_SKEW_THROUGHPUT
+            < PAPER_TABLE1_AGG_THROUGHPUT[("storm", 2)]
+        )
+        assert (
+            PAPER_EXP4_SPARK_SKEW_THROUGHPUT_4NODE
+            < PAPER_TABLE1_AGG_THROUGHPUT[("spark", 4)]
+        )

@@ -1,0 +1,111 @@
+"""Unit tests for time-series helpers and ASCII rendering."""
+
+import pytest
+
+from repro.analysis.ascii_plots import render_panels, render_series, sparkline
+from repro.analysis.timeseries import (
+    align_series,
+    moving_average,
+    normalise_time,
+    resample,
+)
+from repro.core.metrics import TimeSeries
+
+
+class TestResample:
+    def test_step_interpolation(self):
+        ts = TimeSeries(times=[0.0, 2.0], values=[1.0, 5.0])
+        out = resample(ts, 1.0)
+        assert out.times == [0.0, 1.0, 2.0]
+        assert out.values == [1.0, 1.0, 5.0]
+
+    def test_empty(self):
+        assert len(resample(TimeSeries(), 1.0)) == 0
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            resample(TimeSeries(), 0.0)
+
+    def test_custom_start(self):
+        ts = TimeSeries(times=[1.0, 3.0], values=[1.0, 3.0])
+        out = resample(ts, 1.0, start=0.0)
+        assert out.times[0] == 0.0
+        assert out.values[0] == 1.0  # clamped to first sample
+
+
+class TestAlign:
+    def test_shared_grid(self):
+        a = TimeSeries(times=[0.0, 4.0], values=[1.0, 2.0])
+        b = TimeSeries(times=[2.0, 6.0], values=[3.0, 4.0])
+        aligned = align_series({"a": a, "b": b}, step_s=2.0)
+        assert aligned["a"].times[0] == 0.0
+        assert aligned["b"].times[0] == 0.0
+
+    def test_empty_member_kept_empty(self):
+        aligned = align_series(
+            {"a": TimeSeries(times=[0.0], values=[1.0]), "b": TimeSeries()},
+            step_s=1.0,
+        )
+        assert len(aligned["b"]) == 0
+
+
+class TestNormalise:
+    def test_starts_at_zero(self):
+        ts = TimeSeries(times=[5.0, 7.0], values=[1.0, 2.0])
+        out = normalise_time(ts)
+        assert out.times == [0.0, 2.0]
+
+
+class TestMovingAverage:
+    def test_smoothing(self):
+        ts = TimeSeries(times=[0.0, 1.0, 2.0], values=[0.0, 10.0, 0.0])
+        out = moving_average(ts, window=3)
+        assert out.values[1] == pytest.approx(10.0 / 3)
+
+    def test_window_one_identity(self):
+        ts = TimeSeries(times=[0.0, 1.0], values=[1.0, 2.0])
+        assert moving_average(ts, 1).values == [1.0, 2.0]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(TimeSeries(), 0)
+
+
+class TestSparkline:
+    def test_length_bounded(self):
+        line = sparkline(list(range(500)), width=40)
+        assert len(line) <= 40
+
+    def test_empty(self):
+        assert sparkline([]) == "(empty)"
+
+    def test_flat_series(self):
+        line = sparkline([2.0, 2.0, 2.0])
+        assert len(set(line)) == 1
+
+    def test_monotone_shape(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7], width=8)
+        assert line[0] <= line[-1]
+
+
+class TestRenderSeries:
+    def test_contains_bounds_and_samples(self):
+        ts = TimeSeries(times=[0.0, 10.0], values=[1.0, 9.0])
+        text = render_series(ts, title="latency")
+        assert "latency" in text
+        assert "9.000" in text
+        assert "2 samples" in text
+
+    def test_empty_series(self):
+        assert "(empty series)" in render_series(TimeSeries())
+
+
+class TestRenderPanels:
+    def test_one_line_per_panel(self):
+        panels = {
+            "storm 2w": TimeSeries(times=[0.0, 1.0], values=[1.0, 2.0]),
+            "flink 2w": TimeSeries(times=[0.0, 1.0], values=[0.1, 0.2]),
+        }
+        text = render_panels(panels)
+        assert len(text.splitlines()) == 2
+        assert "storm 2w" in text

@@ -1,0 +1,164 @@
+"""Tests for the CLI and the JSON export layer."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    search_to_dict,
+    summary_to_dict,
+    trial_to_dict,
+    write_json,
+)
+from repro.cli import build_parser, main
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.generator import GeneratorConfig
+from repro.core.metrics import StatSummary, weighted_summary
+from repro.core.sustainable import find_sustainable_throughput
+from repro.workloads.queries import WindowSpec, WindowedAggregationQuery
+
+
+@pytest.fixture(scope="module")
+def small_trial():
+    return run_experiment(
+        ExperimentSpec(
+            engine="flink",
+            query=WindowedAggregationQuery(window=WindowSpec(4, 2)),
+            workers=2,
+            profile=10_000.0,
+            duration_s=30.0,
+            generator=GeneratorConfig(instances=1),
+            monitor_resources=False,
+        )
+    )
+
+
+class TestExport:
+    def test_summary_round_trip(self):
+        d = summary_to_dict(weighted_summary([1.0, 2.0, 3.0]))
+        assert d["count"] == 3
+        assert d["mean"] == pytest.approx(2.0)
+
+    def test_nan_becomes_none(self):
+        d = summary_to_dict(StatSummary.empty())
+        assert d["mean"] is None
+
+    def test_trial_dict_fields(self, small_trial):
+        d = trial_to_dict(small_trial)
+        assert d["engine"] == "flink"
+        assert d["failure"] is None
+        assert d["event_latency"]["count"] > 0
+        assert "series" not in d
+
+    def test_trial_dict_with_series(self, small_trial):
+        d = trial_to_dict(small_trial, include_series=True)
+        assert len(d["series"]["ingest_rate"]["t"]) > 0
+        assert len(d["series"]["event_latency"]["t"]) > 0
+
+    def test_trial_dict_is_json_serialisable(self, small_trial):
+        text = json.dumps(trial_to_dict(small_trial, include_series=True))
+        assert "flink" in text
+
+    def test_write_json_creates_parents(self, tmp_path, small_trial):
+        target = tmp_path / "a" / "b" / "trial.json"
+        path = write_json(trial_to_dict(small_trial), target)
+        assert path.exists()
+        assert json.loads(path.read_text())["engine"] == "flink"
+
+    def test_search_dict(self):
+        spec = ExperimentSpec(
+            engine="flink",
+            query=WindowedAggregationQuery(window=WindowSpec(4, 2)),
+            workers=2,
+            duration_s=30.0,
+            generator=GeneratorConfig(instances=1),
+            monitor_resources=False,
+        )
+        search = find_sustainable_throughput(
+            spec, high_rate=20_000.0, max_trials=2
+        )
+        d = search_to_dict(search)
+        assert d["trial_count"] == len(d["trials"])
+        assert all("rate" in t for t in d["trials"])
+
+
+class TestCliParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["engines"])
+        assert args.command == "engines"
+        for command in ("run", "search", "sweep"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.engine == "flink"
+        assert args.query == "aggregation"
+        assert args.workers == 2
+
+    def test_unknown_engine_rejected(self, capsys):
+        # "apex" is named in the paper's future work but has no model
+        # here (heron/samza may be registered by the extension package).
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--engine", "apex"])
+
+    def test_key_distribution_choices(self):
+        args = build_parser().parse_args(["run", "--keys", "zipf"])
+        assert args.keys == "zipf"
+
+
+class TestCliExecution:
+    def run_cli(self, argv):
+        return main(argv)
+
+    def test_engines_command(self, capsys):
+        assert self.run_cli(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "flink" in out and "storm" in out and "spark" in out
+
+    def test_run_command_small(self, capsys, tmp_path):
+        code = self.run_cli(
+            [
+                "run",
+                "--engine", "flink",
+                "--rate", "10000",
+                "--duration", "30",
+                "--generators", "1",
+                "--no-resources",
+                "--output", str(tmp_path / "out.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "event-time latency" in out
+        assert (tmp_path / "out.json").exists()
+
+    def test_search_command_small(self, capsys):
+        code = self.run_cli(
+            [
+                "search",
+                "--engine", "flink",
+                "--high-rate", "20000",
+                "--duration", "30",
+                "--generators", "1",
+                "--no-resources",
+            ]
+        )
+        assert code == 0
+        assert "sustainable throughput" in capsys.readouterr().out
+
+    def test_run_failure_exit_code(self, capsys):
+        # Grossly overloaded with a tiny queue: the trial fails and the
+        # CLI signals it through the exit code.
+        code = self.run_cli(
+            [
+                "run",
+                "--engine", "storm",
+                "--rate", "5000000",
+                "--duration", "60",
+                "--generators", "1",
+                "--no-resources",
+            ]
+        )
+        assert code == 1

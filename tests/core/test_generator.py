@@ -1,0 +1,236 @@
+"""Unit tests for the on-the-fly data generator."""
+
+import pytest
+
+from repro.core.generator import (
+    DENSE,
+    SAMPLED,
+    DataGenerator,
+    GeneratorConfig,
+    build_generator_fleet,
+)
+from repro.core.queues import DriverQueue
+from repro.core.records import ADS, PURCHASES
+from repro.sim.rng import RngRegistry
+from repro.sim.simulator import Simulator
+from repro.workloads.keys import SingleKey
+from repro.workloads.profiles import ConstantRate
+from repro.workloads.queries import WindowedAggregationQuery, WindowedJoinQuery
+
+
+def make_generator(sim, query=None, rate=1000.0, mode=DENSE, share=1.0, **cfg):
+    query = query or WindowedAggregationQuery()
+    config = GeneratorConfig(instances=1, mode=mode, **cfg)
+    queue = DriverQueue("q", capacity_weight=float("inf"))
+    gen = DataGenerator(
+        sim=sim,
+        queue=queue,
+        profile=ConstantRate(rate),
+        query=query,
+        rng=RngRegistry(0).stream("g"),
+        config=config,
+        share=share,
+    )
+    return gen, queue
+
+
+class TestRates:
+    def test_generated_weight_matches_rate(self):
+        sim = Simulator()
+        gen, queue = make_generator(sim, rate=1000.0)
+        gen.start()
+        sim.run_until(10.0)
+        assert gen.generated_weight == pytest.approx(10.0 * 1000.0, rel=0.02)
+        assert queue.pushed_weight == pytest.approx(gen.generated_weight)
+
+    def test_share_scales_rate(self):
+        sim = Simulator()
+        gen, queue = make_generator(sim, rate=1000.0, share=0.25)
+        gen.start()
+        sim.run_until(10.0)
+        assert gen.generated_weight == pytest.approx(2500.0, rel=0.02)
+
+    def test_zero_rate_produces_nothing(self):
+        sim = Simulator()
+        gen, queue = make_generator(sim, rate=0.0)
+        gen.start()
+        sim.run_until(5.0)
+        assert queue.pushed_weight == 0.0
+
+    def test_events_timestamped_at_generation(self):
+        sim = Simulator()
+        gen, queue = make_generator(sim, rate=100.0)
+        gen.start()
+        sim.run_until(1.0)
+        records = queue.pull(1e9)
+        times = {r.event_time for r in records}
+        # All event times are generation tick times within the run
+        # (generation starts immediately at t=0).
+        assert all(0 <= t <= 1.0 for t in times)
+        assert len(times) > 1
+
+
+class TestDenseMode:
+    def test_dense_covers_all_keys_each_tick(self):
+        sim = Simulator()
+        query = WindowedAggregationQuery()
+        gen, queue = make_generator(sim, query=query, rate=6400.0)
+        gen.start()
+        sim.run_until(gen.config.tick_interval_s)
+        records = queue.pull(1e9)
+        keys = {r.key for r in records}
+        positive_mass_keys = {
+            i for i, m in enumerate(query.keys.pmf()) if m > 0
+        }
+        assert keys == positive_mass_keys
+
+    def test_dense_weights_follow_pmf(self):
+        sim = Simulator()
+        query = WindowedAggregationQuery()
+        gen, queue = make_generator(sim, query=query, rate=6400.0)
+        gen.start()
+        sim.run_until(gen.config.tick_interval_s)
+        records = queue.pull(1e9)
+        pmf = query.keys.pmf()
+        tick_weight = 6400.0 * gen.config.tick_interval_s
+        for r in records:
+            assert r.weight == pytest.approx(tick_weight * pmf[r.key])
+
+    def test_single_key_dense_emits_one_record_per_tick(self):
+        sim = Simulator()
+        query = WindowedAggregationQuery(keys=SingleKey())
+        gen, queue = make_generator(sim, query=query, rate=100.0)
+        gen.start()
+        sim.run_until(gen.config.tick_interval_s * 0.5)
+        records = queue.pull(1e9)
+        assert len(records) == 1
+        assert records[0].key == 0
+
+
+class TestSampledMode:
+    def test_sampled_emits_k_records_per_tick(self):
+        sim = Simulator()
+        gen, queue = make_generator(
+            sim, rate=100.0, mode=SAMPLED, keys_per_cohort=5
+        )
+        gen.start()
+        sim.run_until(gen.config.tick_interval_s * 0.5)
+        records = queue.pull(1e9)
+        assert len(records) == 5
+
+    def test_sampled_weight_split_evenly(self):
+        sim = Simulator()
+        gen, queue = make_generator(
+            sim, rate=100.0, mode=SAMPLED, keys_per_cohort=4
+        )
+        gen.start()
+        sim.run_until(gen.config.tick_interval_s)
+        records = queue.pull(1e9)
+        tick_weight = 100.0 * gen.config.tick_interval_s
+        for r in records:
+            assert r.weight == pytest.approx(tick_weight / 4)
+
+
+class TestJoinStreams:
+    def test_join_emits_both_streams(self):
+        sim = Simulator()
+        query = WindowedJoinQuery(purchases_share=0.5)
+        gen, queue = make_generator(sim, query=query, rate=1000.0)
+        gen.start()
+        sim.run_until(1.0)
+        records = queue.pull(1e9)
+        by_stream = {}
+        for r in records:
+            by_stream[r.stream] = by_stream.get(r.stream, 0.0) + r.weight
+        assert by_stream[PURCHASES] == pytest.approx(by_stream[ADS], rel=0.01)
+
+    def test_purchases_share_respected(self):
+        sim = Simulator()
+        query = WindowedJoinQuery(purchases_share=0.75)
+        gen, queue = make_generator(sim, query=query, rate=1000.0)
+        gen.start()
+        sim.run_until(1.0)
+        records = queue.pull(1e9)
+        purchases = sum(r.weight for r in records if r.stream == PURCHASES)
+        total = sum(r.weight for r in records)
+        assert purchases / total == pytest.approx(0.75, rel=0.01)
+
+    def test_ads_have_zero_value(self):
+        sim = Simulator()
+        gen, queue = make_generator(sim, query=WindowedJoinQuery(), rate=100.0)
+        gen.start()
+        sim.run_until(0.5)
+        for r in queue.pull(1e9):
+            if r.stream == ADS:
+                assert r.value == 0.0
+
+
+class TestFleet:
+    def test_fleet_shares_sum_to_one(self):
+        sim = Simulator()
+        rng = RngRegistry(0)
+        config = GeneratorConfig(instances=4)
+        fleet = build_generator_fleet(
+            sim=sim,
+            profile=ConstantRate(4000.0),
+            query=WindowedAggregationQuery(),
+            rng_streams=[rng.stream(f"g{i}") for i in range(4)],
+            config=config,
+            horizon_s=10.0,
+        )
+        for gen in fleet:
+            gen.start()
+        sim.run_until(5.0)
+        total = sum(g.generated_weight for g in fleet)
+        assert total == pytest.approx(5.0 * 4000.0, rel=0.02)
+
+    def test_fleet_queue_capacity_from_peak(self):
+        sim = Simulator()
+        rng = RngRegistry(0)
+        config = GeneratorConfig(instances=2, queue_capacity_seconds=10.0)
+        fleet = build_generator_fleet(
+            sim=sim,
+            profile=ConstantRate(100.0),
+            query=WindowedAggregationQuery(),
+            rng_streams=[rng.stream(f"g{i}") for i in range(2)],
+            config=config,
+            horizon_s=10.0,
+        )
+        # Per-instance peak 50 events/s * 10 s = 500 events capacity.
+        assert fleet[0].queue.capacity_weight == pytest.approx(500.0)
+
+    def test_fleet_rng_count_validated(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            build_generator_fleet(
+                sim=sim,
+                profile=ConstantRate(1.0),
+                query=WindowedAggregationQuery(),
+                rng_streams=[],
+                config=GeneratorConfig(instances=2),
+                horizon_s=1.0,
+            )
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(instances=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(tick_interval_s=0.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(mode="other")
+        with pytest.raises(ValueError):
+            GeneratorConfig(keys_per_cohort=0)
+
+    def test_bad_share_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            make_generator(sim, share=0.0)
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        gen, _ = make_generator(sim)
+        gen.start()
+        with pytest.raises(RuntimeError):
+            gen.start()

@@ -1,0 +1,88 @@
+"""Unit tests for the driver-side latency collector."""
+
+import pytest
+
+from repro.core.latency import EVENT_TIME, PROCESSING_TIME, LatencyCollector
+from repro.core.records import OutputRecord
+
+
+def out(emit, event, proc, weight=1.0):
+    return OutputRecord(
+        key=0,
+        value=0.0,
+        event_time=event,
+        processing_time=proc,
+        emit_time=emit,
+        weight=weight,
+    )
+
+
+class TestCollection:
+    def test_collect_counts(self):
+        c = LatencyCollector()
+        c.collect([out(10.0, 9.0, 9.5), out(11.0, 9.0, 10.0)])
+        assert len(c) == 2
+
+    def test_event_summary(self):
+        c = LatencyCollector()
+        c.collect([out(10.0, 9.0, 9.5)])  # event latency 1.0
+        c.collect([out(20.0, 17.0, 19.0)])  # event latency 3.0
+        s = c.summary(EVENT_TIME)
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == pytest.approx(1.0)
+        assert s.maximum == pytest.approx(3.0)
+
+    def test_processing_summary_differs(self):
+        c = LatencyCollector()
+        c.collect([out(10.0, 5.0, 9.5)])
+        assert c.summary(EVENT_TIME).mean == pytest.approx(5.0)
+        assert c.summary(PROCESSING_TIME).mean == pytest.approx(0.5)
+
+    def test_unknown_kind_rejected(self):
+        c = LatencyCollector()
+        with pytest.raises(ValueError):
+            c.summary("wall_clock")
+
+    def test_warmup_exclusion(self):
+        c = LatencyCollector()
+        c.collect([out(5.0, 0.0, 0.0)])  # during warmup
+        c.collect([out(50.0, 49.0, 49.0)])  # after warmup
+        s = c.summary(EVENT_TIME, start_time=10.0)
+        assert s.count == 1
+        assert s.mean == pytest.approx(1.0)
+
+    def test_weighted_samples(self):
+        c = LatencyCollector()
+        c.collect([out(10.0, 9.0, 9.0, weight=9.0), out(10.0, 0.0, 0.0, weight=1.0)])
+        s = c.summary(EVENT_TIME)
+        assert s.mean == pytest.approx(0.9 * 1.0 + 0.1 * 10.0)
+
+
+class TestSeries:
+    def test_series_ordered_by_emit_time(self):
+        c = LatencyCollector()
+        c.collect([out(10.0, 9.0, 9.0)])
+        c.collect([out(20.0, 15.0, 15.0)])
+        series = c.series(EVENT_TIME)
+        assert series.times == [10.0, 20.0]
+        assert series.values == [1.0, 5.0]
+
+    def test_binned_series(self):
+        c = LatencyCollector()
+        c.collect([out(1.0, 0.0, 0.0), out(2.0, 0.0, 0.0)])
+        c.collect([out(11.0, 10.0, 10.0)])
+        binned = c.binned_series(EVENT_TIME, bin_s=10.0)
+        assert len(binned) == 2
+
+    def test_trend_slope_detects_growth(self):
+        c = LatencyCollector()
+        # Latency grows 1 second per second of emission time: overload.
+        for t in range(0, 100, 5):
+            c.collect([out(float(t), 0.0, 0.0)])
+        assert c.trend_slope(EVENT_TIME) == pytest.approx(1.0, rel=0.05)
+
+    def test_trend_slope_flat_when_stable(self):
+        c = LatencyCollector()
+        for t in range(0, 100, 5):
+            c.collect([out(float(t), t - 2.0, t - 1.0)])
+        assert abs(c.trend_slope(EVENT_TIME)) < 0.01

@@ -1,0 +1,165 @@
+"""Unit and property tests for weighted statistics and time series."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    StatSummary,
+    TimeSeries,
+    weighted_quantile,
+    weighted_summary,
+)
+
+
+class TestWeightedSummary:
+    def test_unit_weights_match_numpy(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0]
+        s = weighted_summary(values)
+        assert s.mean == pytest.approx(np.mean(values))
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+        assert s.count == 5
+        assert s.weight == 5.0
+
+    def test_weights_scale_contribution(self):
+        # One sample of weight 3 behaves like three unit samples.
+        a = weighted_summary([1.0, 10.0], weights=[3.0, 1.0])
+        b = weighted_summary([1.0, 1.0, 1.0, 10.0])
+        assert a.mean == pytest.approx(b.mean)
+        assert a.p90 == b.p90
+
+    def test_empty_summary(self):
+        s = weighted_summary([])
+        assert s.count == 0
+        assert np.isnan(s.mean)
+        assert "no samples" in s.row()
+
+    def test_zero_weights_give_empty(self):
+        s = weighted_summary([1.0, 2.0], weights=[0.0, 0.0])
+        assert s.count == 0
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_summary([1.0, 2.0], weights=[1.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_summary([1.0], weights=[-1.0])
+
+    def test_row_format(self):
+        s = weighted_summary([1.0, 2.0, 3.0])
+        row = s.row()
+        assert "2.00" in row  # mean
+        assert "(" in row and ")" in row
+
+    def test_std(self):
+        s = weighted_summary([2.0, 4.0])
+        assert s.std == pytest.approx(1.0)
+
+
+class TestWeightedQuantile:
+    def test_median_of_units(self):
+        v = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        w = np.ones(5)
+        assert weighted_quantile(v, w, 0.5) == 3.0
+
+    def test_heavy_weight_dominates(self):
+        v = np.array([1.0, 100.0])
+        w = np.array([99.0, 1.0])
+        assert weighted_quantile(v, w, 0.9) == 1.0
+        assert weighted_quantile(v, w, 0.995) == 100.0
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_quantile(np.array([1.0]), np.array([1.0]), 1.5)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(weighted_quantile(np.array([]), np.array([]), 0.5))
+
+    @given(
+        values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+        q=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_is_a_sample_value(self, values, q):
+        v = np.asarray(values)
+        w = np.ones_like(v)
+        result = weighted_quantile(v, w, q)
+        assert result in v
+
+    @given(values=st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_quantiles_monotone(self, values):
+        v = np.asarray(values)
+        w = np.ones_like(v)
+        q50 = weighted_quantile(v, w, 0.5)
+        q90 = weighted_quantile(v, w, 0.9)
+        q99 = weighted_quantile(v, w, 0.99)
+        assert q50 <= q90 <= q99
+
+
+class TestTimeSeries:
+    def test_append_and_iter(self):
+        ts = TimeSeries()
+        ts.append(1.0, 10.0)
+        ts.append(2.0, 20.0)
+        assert list(ts) == [(1.0, 10.0), (2.0, 20.0)]
+        assert len(ts) == 2
+
+    def test_non_monotone_append_rejected(self):
+        ts = TimeSeries()
+        ts.append(2.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.append(1.0, 1.0)
+
+    def test_window(self):
+        ts = TimeSeries(times=[0.0, 1.0, 2.0, 3.0], values=[0, 1, 2, 3])
+        w = ts.window(1.0, 3.0)
+        assert w.times == [1.0, 2.0]
+
+    def test_slope_on_linear_data(self):
+        ts = TimeSeries(times=[0.0, 1.0, 2.0, 3.0], values=[0.0, 2.0, 4.0, 6.0])
+        assert ts.slope_per_s() == pytest.approx(2.0)
+
+    def test_slope_on_flat_data(self):
+        ts = TimeSeries(times=[0.0, 1.0, 2.0], values=[5.0, 5.0, 5.0])
+        assert ts.slope_per_s() == pytest.approx(0.0)
+
+    def test_slope_needs_two_points(self):
+        assert TimeSeries(times=[1.0], values=[1.0]).slope_per_s() == 0.0
+
+    def test_binned_mean(self):
+        ts = TimeSeries(
+            times=[0.0, 1.0, 5.0, 6.0], values=[1.0, 3.0, 10.0, 20.0]
+        )
+        binned = ts.binned(5.0)
+        assert binned.times == [0.0, 5.0]
+        assert binned.values == [2.0, 15.0]
+
+    def test_binned_max(self):
+        ts = TimeSeries(times=[0.0, 1.0], values=[1.0, 3.0])
+        assert ts.binned(5.0, agg=np.max).values == [3.0]
+
+    def test_binned_invalid_bin_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries().binned(0.0)
+
+    def test_mean_max(self):
+        ts = TimeSeries(times=[0.0, 1.0], values=[2.0, 6.0])
+        assert ts.mean() == 4.0
+        assert ts.max() == 6.0
+        assert np.isnan(TimeSeries().mean())
+
+    @given(
+        slope=st.floats(-100, 100),
+        intercept=st.floats(-100, 100),
+        n=st.integers(3, 50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_slope_recovers_linear_trend(self, slope, intercept, n):
+        ts = TimeSeries()
+        for i in range(n):
+            ts.append(float(i), slope * i + intercept)
+        assert ts.slope_per_s() == pytest.approx(slope, abs=1e-6, rel=1e-6)

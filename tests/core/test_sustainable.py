@@ -1,0 +1,186 @@
+"""Unit tests for the sustainability judgement and throughput search."""
+
+import pytest
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.generator import GeneratorConfig
+from repro.core.sustainable import (
+    SustainabilityCriteria,
+    SustainableSearchResult,
+    assess,
+    find_sustainable_throughput,
+)
+from repro.core.driver import TrialResult
+from repro.core.latency import LatencyCollector
+from repro.core.metrics import weighted_summary
+from repro.core.queues import DriverQueue, QueueSet
+from repro.core.records import OutputRecord, Record
+from repro.core.throughput import ThroughputMonitor
+from repro.sim.simulator import Simulator
+from repro.workloads.profiles import ConstantRate
+from repro.workloads.queries import WindowedAggregationQuery, WindowSpec
+
+
+def synthetic_result(
+    offered=1000.0,
+    backlog_growth=0.0,
+    latency_slope=0.0,
+    failure=None,
+    duration=100.0,
+    outputs=True,
+):
+    """Build a TrialResult with scripted queue/latency dynamics."""
+    sim = Simulator()
+    queue = DriverQueue("q")
+    queues = QueueSet([queue])
+    monitor = ThroughputMonitor(sim, queues, interval_s=1.0)
+
+    def step(s):
+        t = s.now
+        queue.push(Record(key=0, value=1.0, event_time=t, weight=offered))
+        keep = backlog_growth
+        queue.pull(max(0.0, offered - keep))
+
+    sim.every(1.0, step)
+    sim.run_until(duration)
+    monitor.stop()
+    collector = LatencyCollector()
+    base = 1.0
+    for t in range(0, int(duration), 2):
+        lat = base + latency_slope * t
+        collector.collect(
+            [
+                OutputRecord(
+                    key=0,
+                    value=0.0,
+                    event_time=float(t) - lat,
+                    processing_time=float(t) - lat / 2,
+                    emit_time=float(t),
+                )
+            ]
+            if outputs
+            else []
+        )
+    warmup = duration * 0.25
+    return TrialResult(
+        engine="fake",
+        workers=2,
+        query_kind="aggregation",
+        offered_profile=ConstantRate(offered),
+        duration_s=duration,
+        warmup_s=warmup,
+        failure=failure,
+        failure_time=float("nan"),
+        event_latency=collector.summary("event_time", warmup),
+        processing_latency=collector.summary("processing_time", warmup),
+        mean_ingest_rate=monitor.mean_ingest_rate(warmup),
+        collector=collector,
+        throughput=monitor,
+        resources=None,
+    )
+
+
+class TestAssess:
+    def test_stable_trial_is_sustainable(self):
+        verdict = assess(synthetic_result())
+        assert verdict.sustainable
+        assert verdict.reasons == []
+
+    def test_failure_is_unsustainable(self):
+        verdict = assess(synthetic_result(failure="connection dropped"))
+        assert not verdict.sustainable
+        assert any("failure" in r.lower() for r in verdict.reasons)
+
+    def test_growing_backlog_is_unsustainable(self):
+        verdict = assess(synthetic_result(offered=1000.0, backlog_growth=100.0))
+        assert not verdict.sustainable
+        assert any("backlog" in r for r in verdict.reasons)
+
+    def test_small_fluctuation_allowed(self):
+        verdict = assess(synthetic_result(offered=1000.0, backlog_growth=2.0))
+        assert verdict.sustainable
+
+    def test_latency_growth_is_unsustainable(self):
+        verdict = assess(synthetic_result(latency_slope=0.5))
+        assert not verdict.sustainable
+        assert any("latency" in r for r in verdict.reasons)
+
+    def test_no_outputs_is_unsustainable(self):
+        verdict = assess(synthetic_result(outputs=False))
+        assert not verdict.sustainable
+
+    def test_criteria_tolerances_respected(self):
+        loose = SustainabilityCriteria(max_latency_slope=1.0)
+        verdict = assess(synthetic_result(latency_slope=0.5), loose)
+        assert verdict.sustainable
+
+
+class TestSearch:
+    def make_fake_run(self, capacity):
+        """A fake experiment: sustainable iff rate <= capacity."""
+
+        def run(spec):
+            rate = spec.rate_profile().rate_at(0.0)
+            growth = max(0.0, (rate - capacity)) + 0.0
+            return synthetic_result(offered=rate, backlog_growth=growth)
+
+        return run
+
+    def spec(self):
+        return ExperimentSpec(
+            engine="flink",
+            query=WindowedAggregationQuery(window=WindowSpec(4, 2)),
+            duration_s=20.0,
+            generator=GeneratorConfig(instances=1),
+        )
+
+    def test_returns_high_when_sustainable(self):
+        result = find_sustainable_throughput(
+            self.spec(), high_rate=500.0, run=self.make_fake_run(1000.0)
+        )
+        assert result.sustainable_rate == 500.0
+        assert result.trial_count == 1
+
+    def test_bisection_converges_to_capacity(self):
+        result = find_sustainable_throughput(
+            self.spec(),
+            high_rate=2000.0,
+            run=self.make_fake_run(1000.0),
+            rel_tol=0.02,
+        )
+        assert result.sustainable_rate == pytest.approx(1000.0, rel=0.1)
+
+    def test_trials_recorded(self):
+        result = find_sustainable_throughput(
+            self.spec(), high_rate=2000.0, run=self.make_fake_run(900.0)
+        )
+        assert result.trial_count >= 3
+        assert result.best_trial() is not None
+        assert result.best_trial().rate == result.sustainable_rate
+
+    def test_all_unsustainable_returns_low(self):
+        result = find_sustainable_throughput(
+            self.spec(),
+            high_rate=2000.0,
+            low_rate=0.0,
+            run=self.make_fake_run(-1.0),
+            max_trials=4,
+        )
+        assert result.sustainable_rate == 0.0
+        assert result.best_trial() is None
+
+    def test_invalid_bracket_rejected(self):
+        with pytest.raises(ValueError):
+            find_sustainable_throughput(
+                self.spec(), high_rate=1.0, low_rate=2.0
+            )
+
+    def test_max_trials_bounds_work(self):
+        result = find_sustainable_throughput(
+            self.spec(),
+            high_rate=2000.0,
+            run=self.make_fake_run(1000.0),
+            max_trials=3,
+            rel_tol=1e-6,
+        )
+        assert result.trial_count <= 3

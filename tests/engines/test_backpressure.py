@@ -1,0 +1,143 @@
+"""Unit tests for the three backpressure mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.engines.backpressure import (
+    CreditBased,
+    OnOffThrottle,
+    RateController,
+)
+
+
+class TestCreditBased:
+    def test_grants_capacity_when_buffer_empty(self):
+        bp = CreditBased()
+        assert bp.ingest_budget(0.1, 1000.0, 0.0, 500.0) == pytest.approx(100.0)
+
+    def test_limited_by_remaining_credit(self):
+        bp = CreditBased()
+        assert bp.ingest_budget(1.0, 1000.0, 450.0, 500.0) == pytest.approx(50.0)
+
+    def test_zero_when_buffer_full(self):
+        bp = CreditBased()
+        assert bp.ingest_budget(1.0, 1000.0, 500.0, 500.0) == 0.0
+
+    def test_smooth_no_hysteresis(self):
+        bp = CreditBased()
+        a = bp.ingest_budget(0.1, 1000.0, 499.0, 500.0)
+        b = bp.ingest_budget(0.1, 1000.0, 0.0, 500.0)
+        assert a == pytest.approx(1.0)
+        assert b == pytest.approx(100.0)
+
+
+class TestOnOffThrottle:
+    def test_bursts_above_capacity_while_on(self):
+        bp = OnOffThrottle(burst_factor=1.3)
+        grant = bp.ingest_budget(1.0, 1000.0, 0.0, 10_000.0)
+        assert grant == pytest.approx(1300.0)
+
+    def test_stops_at_high_watermark(self):
+        bp = OnOffThrottle(high_watermark=0.9, low_watermark=0.4)
+        assert bp.ingest_budget(1.0, 1000.0, 9500.0, 10_000.0) == 0.0
+        assert not bp.emitting
+
+    def test_stays_off_until_low_watermark(self):
+        bp = OnOffThrottle(high_watermark=0.9, low_watermark=0.4)
+        bp.ingest_budget(1.0, 1000.0, 9500.0, 10_000.0)  # trips off
+        assert bp.ingest_budget(1.0, 1000.0, 5000.0, 10_000.0) == 0.0
+        assert bp.ingest_budget(1.0, 1000.0, 3000.0, 10_000.0) > 0.0
+        assert bp.emitting
+
+    def test_oscillation_cycle(self):
+        bp = OnOffThrottle()
+        buffered = 0.0
+        capacity, cap_buf = 100.0, 100.0
+        grants = []
+        for _ in range(200):
+            g = bp.ingest_budget(0.1, capacity, buffered, cap_buf)
+            grants.append(g)
+            buffered = max(0.0, buffered + g - capacity * 0.1)
+        # The throttle alternates: some zero-grants and some burst grants.
+        assert any(g == 0.0 for g in grants[50:])
+        assert any(g > 0.0 for g in grants[50:])
+
+    def test_invalid_watermarks_rejected(self):
+        with pytest.raises(ValueError):
+            OnOffThrottle(high_watermark=0.3, low_watermark=0.5)
+
+    def test_stall_blocks_ingest(self):
+        rng = np.random.default_rng(0)
+        bp = OnOffThrottle(
+            stall_rng=rng, stall_rate_per_s=100.0, stall_duration_s=2.0
+        )
+        # Force a high-watermark hit; the huge stall rate guarantees a stall.
+        bp.ingest_budget(0.1, 1000.0, 9500.0, 10_000.0)
+        assert bp.stalled
+        assert bp.stall_count == 1
+        assert bp.ingest_budget(0.1, 1000.0, 0.0, 10_000.0) == 0.0
+
+    def test_stall_expires(self):
+        rng = np.random.default_rng(0)
+        bp = OnOffThrottle(
+            stall_rng=rng, stall_rate_per_s=100.0, stall_duration_s=0.5
+        )
+        bp.ingest_budget(0.1, 1000.0, 9500.0, 10_000.0)
+        for _ in range(10):  # advance internal clock past the stall
+            bp.ingest_budget(0.1, 1000.0, 3000.0, 10_000.0)
+        assert not bp.stalled
+
+
+class TestRateController:
+    def test_initial_rate_unlimited_but_receiver_capped(self):
+        rc = RateController(batch_interval_s=4.0)
+        grant = rc.ingest_budget(1.0, 1000.0, 0.0, 1e9)
+        assert grant == pytest.approx(1050.0)  # capacity * headroom
+
+    def test_overrun_decreases_limit(self):
+        rc = RateController(batch_interval_s=4.0, initial_rate=100_000.0)
+        rc.on_batch_complete(
+            processing_time_s=5.0, batch_events=400_000.0, queued_jobs=0
+        )
+        assert rc.rate_limit < 100_000.0
+
+    def test_queued_jobs_decrease_limit(self):
+        rc = RateController(batch_interval_s=4.0, initial_rate=100_000.0)
+        rc.on_batch_complete(
+            processing_time_s=3.0, batch_events=400_000.0, queued_jobs=3
+        )
+        assert rc.rate_limit < 100_000.0
+
+    def test_underrun_increases_limit(self):
+        rc = RateController(batch_interval_s=4.0, initial_rate=100_000.0)
+        rc.on_batch_complete(
+            processing_time_s=2.0, batch_events=400_000.0, queued_jobs=0
+        )
+        assert rc.rate_limit == pytest.approx(110_000.0)
+
+    def test_infinite_limit_untouched_by_underrun(self):
+        rc = RateController(batch_interval_s=4.0)
+        rc.on_batch_complete(
+            processing_time_s=2.0, batch_events=100.0, queued_jobs=0
+        )
+        assert rc.rate_limit == float("inf")
+
+    def test_min_rate_floor(self):
+        rc = RateController(
+            batch_interval_s=4.0, initial_rate=2000.0, min_rate=1500.0
+        )
+        for _ in range(50):
+            rc.on_batch_complete(
+                processing_time_s=40.0, batch_events=8000.0, queued_jobs=5
+            )
+        assert rc.rate_limit == 1500.0
+
+    def test_adjustments_counted(self):
+        rc = RateController(batch_interval_s=4.0, initial_rate=1000.0)
+        rc.on_batch_complete(2.0, 100.0, 0)
+        rc.on_batch_complete(5.0, 100.0, 0)
+        assert rc.adjustments == 2
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            RateController(batch_interval_s=0.0)

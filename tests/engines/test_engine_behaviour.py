@@ -1,0 +1,189 @@
+"""Engine-level behavioural tests: each engine model on short runs."""
+
+import pytest
+
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.generator import GeneratorConfig
+from repro.engines.spark import SparkConfig
+from repro.engines.storm import StormConfig
+from repro.workloads.keys import SingleKey
+from repro.workloads.queries import (
+    WindowSpec,
+    WindowedAggregationQuery,
+    WindowedJoinQuery,
+)
+
+
+def spec(engine, **overrides):
+    defaults = dict(
+        engine=engine,
+        query=WindowedAggregationQuery(window=WindowSpec(4.0, 2.0)),
+        workers=2,
+        profile=10_000.0,
+        duration_s=40.0,
+        seed=11,
+        generator=GeneratorConfig(instances=2),
+        monitor_resources=False,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+def run_with_recorded_outputs(experiment_spec):
+    """Run an experiment while also capturing raw output tuples."""
+    from dataclasses import replace
+
+    result = run_experiment(replace(experiment_spec, keep_outputs=True))
+    return result, result.collector.outputs
+
+
+class TestAggregationCorrectness:
+    """Window SUMs must equal (generated events in window) * price."""
+
+    @pytest.mark.parametrize("engine", ["storm", "flink", "spark"])
+    def test_window_sums_match_generated_totals(self, engine):
+        from repro.workloads.events import (
+            MAX_GEM_PACK_PRICE,
+            MIN_GEM_PACK_PRICE,
+        )
+
+        result, outputs = run_with_recorded_outputs(spec(engine))
+        assert not result.failed
+        mean_price = (MIN_GEM_PACK_PRICE + MAX_GEM_PACK_PRICE) / 2.0
+        rate, size = 10_000.0, 4.0
+        # Interior windows (fully inside the run, all inputs ingested):
+        by_window = {}
+        for out in outputs:
+            by_window.setdefault(out.window_end, 0.0)
+            by_window[out.window_end] += out.value
+        interior = {
+            end: total
+            for end, total in by_window.items()
+            if 8.0 <= end <= result.duration_s - 10.0
+        }
+        assert interior, "no interior windows emitted"
+        expected = rate * size * mean_price
+        for end, total in interior.items():
+            assert total == pytest.approx(expected, rel=0.05), f"window {end}"
+
+    @pytest.mark.parametrize("engine", ["storm", "spark", "flink"])
+    def test_outputs_cover_all_keys(self, engine):
+        result = run_experiment(spec(engine))
+        q = WindowedAggregationQuery(window=WindowSpec(4.0, 2.0))
+        active_keys = int((q.keys.pmf() > 0).sum())
+        # At least one full window of outputs: >= #keys outputs.
+        assert len(result.collector) >= active_keys
+
+
+class TestLatencyOrdering:
+    def test_flink_latency_below_spark(self):
+        flink = run_experiment(spec("flink"))
+        spark = run_experiment(spec("spark", engine_config=None))
+        assert flink.event_latency.mean < spark.event_latency.mean
+
+    def test_spark_latency_floor_is_batch_scale(self):
+        spark = run_experiment(spec("spark"))
+        cfg = SparkConfig()
+        # Mini-batching: even unloaded, latencies sit at job-duration
+        # scale, well above Flink's pipeline delay.
+        assert spark.event_latency.minimum > 0.2
+
+    def test_spark_variance_tighter_than_storm(self):
+        storm = run_experiment(spec("storm", profile=300_000.0))
+        spark = run_experiment(spec("spark", profile=300_000.0))
+        rel_storm = storm.event_latency.std / storm.event_latency.mean
+        rel_spark = spark.event_latency.std / spark.event_latency.mean
+        assert rel_spark < rel_storm
+
+
+class TestSkewBehaviour:
+    def test_flink_skew_capacity_is_slot_bound(self):
+        q = WindowedAggregationQuery(
+            window=WindowSpec(4.0, 2.0), keys=SingleKey()
+        )
+        over = run_experiment(
+            spec("flink", query=q, profile=0.6e6, duration_s=60.0)
+        )
+        # 0.6 M/s offered > 0.48 M/s slot capacity: ingest saturates at
+        # the slot rate and the backlog grows.
+        assert over.mean_ingest_rate < 0.52e6
+        assert over.throughput.occupancy_slope(over.warmup_s) > 0
+
+    def test_spark_handles_skew(self):
+        q = WindowedAggregationQuery(
+            window=WindowSpec(4.0, 2.0), keys=SingleKey()
+        )
+        result = run_experiment(
+            spec("spark", query=q, profile=0.3e6, duration_s=60.0)
+        )
+        assert not result.failed
+        assert result.mean_ingest_rate == pytest.approx(0.3e6, rel=0.1)
+
+    def test_flink_skewed_join_stalls(self):
+        q = WindowedJoinQuery(window=WindowSpec(4.0, 2.0), keys=SingleKey())
+        result = run_experiment(
+            spec("flink", query=q, profile=0.6e6, duration_s=120.0)
+        )
+        assert result.failed
+        assert "unresponsive" in result.failure
+
+
+class TestStormFailures:
+    def test_naive_join_fails_beyond_two_workers(self):
+        q = WindowedJoinQuery(window=WindowSpec(4.0, 2.0))
+        result = run_experiment(
+            spec("storm", query=q, workers=4, profile=0.2e6, duration_s=60.0)
+        )
+        assert result.failed
+        assert "naive" in result.failure
+
+    def test_naive_join_works_on_two_workers(self):
+        q = WindowedJoinQuery(window=WindowSpec(4.0, 2.0))
+        result = run_experiment(
+            spec("storm", query=q, workers=2, profile=0.1e6, duration_s=60.0)
+        )
+        assert not result.failed
+
+    def test_large_window_oom_without_advanced_state(self):
+        q = WindowedAggregationQuery(window=WindowSpec(60.0, 60.0))
+        result = run_experiment(
+            spec("storm", query=q, profile=0.4e6, duration_s=150.0)
+        )
+        assert result.failed
+        assert "heap budget" in result.failure
+
+    def test_large_window_survives_with_advanced_state(self):
+        q = WindowedAggregationQuery(window=WindowSpec(60.0, 60.0))
+        cfg = StormConfig(advanced_state=True)
+        result = run_experiment(
+            spec(
+                "storm",
+                query=q,
+                profile=0.3e6,
+                duration_s=150.0,
+                engine_config=cfg,
+            )
+        )
+        assert not result.failed
+
+
+class TestSparkMachinery:
+    def test_job_log_populated(self):
+        result = run_experiment(spec("spark"))
+        assert result.diagnostics["jobs_run"] > 0
+
+    def test_inverse_reduce_config_runs(self):
+        cfg = SparkConfig(inverse_reduce=True)
+        result = run_experiment(spec("spark", engine_config=cfg))
+        assert not result.failed
+
+    def test_windows_emitted_counted(self):
+        result = run_experiment(spec("spark"))
+        assert result.diagnostics["windows_emitted"] > 0
+
+
+class TestDiagnostics:
+    @pytest.mark.parametrize("engine", ["storm", "spark", "flink"])
+    def test_diagnostics_have_ingest_weight(self, engine):
+        result = run_experiment(spec(engine))
+        assert result.diagnostics["ingested_weight"] > 0

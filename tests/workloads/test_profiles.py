@@ -1,0 +1,84 @@
+"""Unit tests for rate profiles."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    ConstantRate,
+    FluctuatingRate,
+    StepRate,
+    fig6_profile,
+)
+
+
+class TestConstantRate:
+    def test_constant(self):
+        p = ConstantRate(5e5)
+        assert p.rate_at(0) == 5e5
+        assert p.rate_at(1e6) == 5e5
+
+    def test_peak(self):
+        assert ConstantRate(3.0).peak(100) == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantRate(-1.0)
+
+    def test_scaled_for_90_percent_runs(self):
+        p = ConstantRate(1.0e6).scaled(0.9)
+        assert p.rate_at(5.0) == pytest.approx(0.9e6)
+
+
+class TestStepRate:
+    def test_steps_apply_in_order(self):
+        p = StepRate([(0.0, 10.0), (5.0, 20.0), (10.0, 5.0)])
+        assert p.rate_at(0.0) == 10.0
+        assert p.rate_at(4.9) == 10.0
+        assert p.rate_at(5.0) == 20.0
+        assert p.rate_at(12.0) == 5.0
+
+    def test_before_first_step_uses_first_rate(self):
+        p = StepRate([(2.0, 7.0)])
+        assert p.rate_at(0.0) == 7.0
+
+    def test_unordered_steps_rejected(self):
+        with pytest.raises(ValueError):
+            StepRate([(5.0, 1.0), (0.0, 2.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StepRate([])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            StepRate([(0.0, -1.0)])
+
+
+class TestFluctuatingRate:
+    def test_high_low_high(self):
+        p = FluctuatingRate(high=100.0, low=20.0, drop_at=10.0, recover_at=20.0)
+        assert p.rate_at(5.0) == 100.0
+        assert p.rate_at(15.0) == 20.0
+        assert p.rate_at(25.0) == 100.0
+
+    def test_peak_is_high(self):
+        p = FluctuatingRate(high=100.0, low=20.0, drop_at=10.0, recover_at=20.0)
+        assert p.peak(30.0) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FluctuatingRate(high=10, low=20, drop_at=1, recover_at=2)
+        with pytest.raises(ValueError):
+            FluctuatingRate(high=20, low=10, drop_at=5, recover_at=5)
+
+
+class TestFig6Profile:
+    def test_paper_rates(self):
+        p = fig6_profile(duration_s=300.0)
+        assert p.rate_at(0.0) == pytest.approx(0.84e6)
+        assert p.rate_at(150.0) == pytest.approx(0.28e6)
+        assert p.rate_at(250.0) == pytest.approx(0.84e6)
+
+    def test_phase_boundaries_at_thirds(self):
+        p = fig6_profile(duration_s=90.0)
+        assert p.drop_at == pytest.approx(30.0)
+        assert p.recover_at == pytest.approx(60.0)

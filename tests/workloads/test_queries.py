@@ -1,0 +1,128 @@
+"""Unit and property tests for window and query specifications."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import ADS, PURCHASES
+from repro.workloads.queries import (
+    LARGE_WINDOW,
+    PAPER_DEFAULT_WINDOW,
+    WindowSpec,
+    WindowedAggregationQuery,
+    WindowedJoinQuery,
+)
+
+
+class TestWindowSpec:
+    def test_paper_default_is_8s_4s(self):
+        assert PAPER_DEFAULT_WINDOW.size_s == 8.0
+        assert PAPER_DEFAULT_WINDOW.slide_s == 4.0
+        assert not PAPER_DEFAULT_WINDOW.is_tumbling
+
+    def test_large_window_is_tumbling(self):
+        assert LARGE_WINDOW.is_tumbling
+        assert LARGE_WINDOW.windows_per_event == 1
+
+    def test_windows_per_event(self):
+        assert WindowSpec(8, 4).windows_per_event == 2
+        assert WindowSpec(10, 3).windows_per_event == 4
+        assert WindowSpec(5, 5).windows_per_event == 1
+
+    def test_window_end_and_start(self):
+        w = WindowSpec(8, 4)
+        assert w.window_end(3) == 12.0
+        assert w.window_start(3) == 4.0
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            WindowSpec(0, 1)
+        with pytest.raises(ValueError):
+            WindowSpec(4, 0)
+        with pytest.raises(ValueError):
+            WindowSpec(4, 8)  # slide > size drops events
+
+    def test_figure1_style_assignment(self):
+        # A 10-minute (600 s) tumbling window: the (5, 605] window of
+        # Figure 1 corresponds to event times in (5, 605] with our
+        # aligned indexing: event at t=600 falls in the window ending 600.
+        w = WindowSpec(600, 600)
+        first, last = w.window_index_range(600.0)
+        assert first == last == 1
+        assert w.window_end(1) == 600.0
+
+    def test_event_on_boundary_belongs_to_ending_window(self):
+        w = WindowSpec(8, 4)
+        first, last = w.window_index_range(8.0)
+        # Windows (0,8] and (4,12] both contain t=8.
+        assert (first, last) == (2, 3)
+
+    def test_event_within_slide(self):
+        w = WindowSpec(8, 4)
+        first, last = w.window_index_range(9.0)
+        # Windows ending at 12 (4,12] and 16 (8,16] contain t=9.
+        assert (first, last) == (3, 4)
+
+
+class TestWindowAssignmentProperties:
+    @given(
+        size=st.integers(1, 120),
+        slide_frac=st.integers(1, 10),
+        event_ms=st.integers(1, 10_000_000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_every_containing_window_contains_event(
+        self, size, slide_frac, event_ms
+    ):
+        slide = size / slide_frac
+        w = WindowSpec(float(size), slide)
+        t = event_ms / 1000.0
+        first, last = w.window_index_range(t)
+        assert last - first + 1 == w.windows_per_event
+        for idx in range(first, last + 1):
+            assert w.window_start(idx) < t <= w.window_end(idx) + 1e-9
+
+    @given(
+        size=st.floats(0.5, 100),
+        event=st.floats(0.001, 10_000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_tumbling_assigns_exactly_one_window(self, size, event):
+        w = WindowSpec(size, size)
+        first, last = w.window_index_range(event)
+        assert first == last
+
+
+class TestQueries:
+    def test_aggregation_streams(self):
+        q = WindowedAggregationQuery()
+        assert q.streams == (PURCHASES,)
+        assert q.kind == "aggregation"
+
+    def test_join_streams(self):
+        q = WindowedJoinQuery()
+        assert q.streams == (PURCHASES, ADS)
+        assert q.kind == "join"
+
+    def test_join_selectivity_default_near_paper_network_bound(self):
+        # selectivity * 64B result + 104B ingest => ~1.19 M/s saturation.
+        q = WindowedJoinQuery()
+        assert q.selectivity == pytest.approx(0.016)
+
+    def test_join_validation(self):
+        with pytest.raises(ValueError):
+            WindowedJoinQuery(selectivity=-0.1)
+        with pytest.raises(ValueError):
+            WindowedJoinQuery(purchases_share=0.0)
+
+    def test_describe_mentions_window(self):
+        q = WindowedAggregationQuery()
+        assert "8s" in q.describe()
+        assert "sliding" in q.describe()
+
+    def test_queries_are_hashable_specs(self):
+        # Frozen dataclasses: usable as sweep keys.
+        q1 = WindowedAggregationQuery()
+        assert q1.name == "WindowedAggregationQuery"
