@@ -71,22 +71,37 @@ def trial_to_dict(
             PROCESSING_TIME, bin_s=series_bin_s, start_time=result.warmup_s
         )
         ingest = result.throughput.ingest_series
+        occupancy = result.throughput.occupancy_series
         payload["series"] = {
-            "event_latency": {"t": event.times, "v": event.values},
-            "processing_latency": {"t": proc.times, "v": proc.values},
-            "ingest_rate": {"t": ingest.times, "v": ingest.values},
+            "event_latency": {
+                "t": event.times.tolist(),
+                "v": event.values.tolist(),
+            },
+            "processing_latency": {
+                "t": proc.times.tolist(),
+                "v": proc.values.tolist(),
+            },
+            "ingest_rate": {
+                "t": ingest.times.tolist(),
+                "v": ingest.values.tolist(),
+            },
             "queue_occupancy": {
-                "t": result.throughput.occupancy_series.times,
-                "v": result.throughput.occupancy_series.values,
+                "t": occupancy.times.tolist(),
+                "v": occupancy.values.tolist(),
             },
         }
     return payload
 
 
 def search_to_dict(search: SustainableSearchResult) -> Dict[str, Any]:
-    """Serialise a sustainable-throughput search with its trial ladder."""
+    """Serialise a sustainable-throughput search with its trial ladder.
+
+    A search where no probed rate was sustainable carries
+    ``sustainable_rate = NaN``; that becomes ``None`` in JSON.
+    """
+    rate = search.sustainable_rate
     return {
-        "sustainable_rate": search.sustainable_rate,
+        "sustainable_rate": None if rate != rate else float(rate),
         "trial_count": search.trial_count,
         "trials": [
             {

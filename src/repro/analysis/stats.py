@@ -83,8 +83,10 @@ def crossover_time(
     Returns (found, time).  Used by shape checks of the form "X wins
     until t, then Y wins".
     """
-    a_binned = dict(zip(a.binned(bin_s).times, a.binned(bin_s).values))
-    b_binned = dict(zip(b.binned(bin_s).times, b.binned(bin_s).values))
+    a_bins = a.binned(bin_s)
+    b_bins = b.binned(bin_s)
+    a_binned = dict(zip(a_bins.times.tolist(), a_bins.values.tolist()))
+    b_binned = dict(zip(b_bins.times.tolist(), b_bins.values.tolist()))
     for t in sorted(set(a_binned) & set(b_binned)):
         if a_binned[t] < b_binned[t]:
             return True, t

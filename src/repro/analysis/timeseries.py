@@ -2,12 +2,13 @@
 
 The paper's figures overlay multiple runs (engines, cluster sizes,
 loads) on common time axes; these helpers bring the driver's raw series
-onto shared grids.
+onto shared grids.  All of them operate on the NumPy backing arrays of
+:class:`TimeSeries` directly -- no per-sample Python loops.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
@@ -24,18 +25,15 @@ def resample(
     """
     if step_s <= 0:
         raise ValueError("step_s must be positive")
-    out = TimeSeries()
     if not len(series):
-        return out
-    times = np.asarray(series.times)
-    values = np.asarray(series.values)
+        return TimeSeries()
+    times = series.times
+    values = series.values
     t0 = times[0] if start is None else start
     grid = np.arange(t0, times[-1] + step_s / 2, step_s)
     idx = np.searchsorted(times, grid, side="right") - 1
     idx = np.clip(idx, 0, len(times) - 1)
-    out.times = grid.tolist()
-    out.values = values[idx].tolist()
-    return out
+    return TimeSeries.from_arrays(grid, values[idx], assume_sorted=True)
 
 
 def align_series(
@@ -54,29 +52,27 @@ def align_series(
 
 def normalise_time(series: TimeSeries) -> TimeSeries:
     """Shift a series so it starts at t=0 (figure-friendly)."""
-    out = TimeSeries()
     if not len(series):
-        return out
-    t0 = series.times[0]
-    out.times = [t - t0 for t in series.times]
-    out.values = list(series.values)
-    return out
+        return TimeSeries()
+    times = series.times
+    return TimeSeries.from_arrays(times - times[0], series.values)
 
 
 def moving_average(series: TimeSeries, window: int) -> TimeSeries:
-    """Centered moving average with edge shrinkage."""
+    """Centered moving average with edge shrinkage.
+
+    Computed with a prefix sum: each output is the mean over
+    ``[i - window//2, i + window//2]`` clipped to the series bounds.
+    """
     if window < 1:
         raise ValueError("window must be >= 1")
-    out = TimeSeries()
     if not len(series):
-        return out
-    values = np.asarray(series.values, dtype=np.float64)
+        return TimeSeries()
+    values = series.values
+    n = values.size
     half = window // 2
-    smoothed: List[float] = []
-    for i in range(len(values)):
-        lo = max(0, i - half)
-        hi = min(len(values), i + half + 1)
-        smoothed.append(float(values[lo:hi].mean()))
-    out.times = list(series.times)
-    out.values = smoothed
-    return out
+    prefix = np.concatenate(([0.0], np.cumsum(values)))
+    lo = np.clip(np.arange(n) - half, 0, n)
+    hi = np.clip(np.arange(n) + half + 1, 0, n)
+    smoothed = (prefix[hi] - prefix[lo]) / (hi - lo)
+    return TimeSeries.from_arrays(series.times, smoothed)

@@ -21,6 +21,7 @@ influence measurement.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -145,6 +146,17 @@ class BenchmarkDriver:
         failure_time = (
             self._failure.at_time if self._failure is not None else float("nan")
         )
+        summaries_start = time.perf_counter()
+        event_latency = self.collector.summary(EVENT_TIME, self.warmup_s)
+        processing_latency = self.collector.summary(
+            PROCESSING_TIME, self.warmup_s
+        )
+        mean_ingest_rate = self.monitor.mean_ingest_rate(self.warmup_s)
+        metrology_s = time.perf_counter() - summaries_start
+        diagnostics: Dict[str, float] = dict(self.engine.diagnostics())
+        diagnostics.update(self.collector.perf_counters())
+        diagnostics.update(self.monitor.perf_counters())
+        diagnostics["driver.summary_s"] = metrology_s
         return TrialResult(
             engine=self.engine.name,
             workers=self.engine.cluster.workers,
@@ -154,13 +166,11 @@ class BenchmarkDriver:
             warmup_s=self.warmup_s,
             failure=failure_msg,
             failure_time=failure_time,
-            event_latency=self.collector.summary(EVENT_TIME, self.warmup_s),
-            processing_latency=self.collector.summary(
-                PROCESSING_TIME, self.warmup_s
-            ),
-            mean_ingest_rate=self.monitor.mean_ingest_rate(self.warmup_s),
+            event_latency=event_latency,
+            processing_latency=processing_latency,
+            mean_ingest_rate=mean_ingest_rate,
             collector=self.collector,
             throughput=self.monitor,
             resources=self.engine.resources,
-            diagnostics=self.engine.diagnostics(),
+            diagnostics=diagnostics,
         )

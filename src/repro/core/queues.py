@@ -39,6 +39,12 @@ class DriverQueue:
         self.name = name
         self.capacity_weight = capacity_weight
         self._items: Deque[Record] = deque()
+        # Enqueue timestamp per queued cohort, parallel to _items.  The
+        # queueing wait is measured against THIS clock, not event-time:
+        # under the disorder workloads a late-but-freshly-pushed record
+        # carries an old event_time, and conflating the two made the
+        # sustainability criteria reject rates that were sustainable.
+        self._push_times: Deque[float] = deque()
         self._queued_weight = 0.0
         self.pushed_weight = 0.0
         self.pulled_weight = 0.0
@@ -86,6 +92,11 @@ class DriverQueue:
                 at_time=at_time,
             )
         self._items.append(record)
+        # NaN at_time (no driver clock supplied) falls back to the
+        # cohort's event_time -- the pre-disorder-aware behaviour.
+        self._push_times.append(
+            at_time if at_time == at_time else record.event_time
+        )
         self._queued_weight += record.weight
         self.pushed_weight += record.weight
         if record.event_time > self._frontier_event_time:
@@ -105,6 +116,7 @@ class DriverQueue:
             head = self._items[0]
             if head.weight <= remaining:
                 self._items.popleft()
+                self._push_times.popleft()
                 taken = head
             else:
                 taken = Record(
@@ -134,9 +146,24 @@ class DriverQueue:
             return None
         return self._items[0].event_time
 
+    def head_push_time(self) -> Optional[float]:
+        """Enqueue time of the oldest queued cohort, or None when empty.
+
+        A partially pulled cohort keeps its original push time: the
+        remainder has been waiting since the cohort was enqueued.
+        """
+        if not self._push_times:
+            return None
+        return self._push_times[0]
+
     def oldest_wait(self, now: float) -> float:
-        """How long the oldest queued event has been waiting (0 if empty)."""
-        head = self.head_event_time()
+        """How long the oldest queued cohort has been waiting (0 if empty).
+
+        Measured against the cohort's *enqueue* time, not its event
+        time: event-time disorder (late records) must not masquerade as
+        queueing delay in the sustainability criteria.
+        """
+        head = self.head_push_time()
         if head is None:
             return 0.0
         return max(0.0, now - head)

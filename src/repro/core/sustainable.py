@@ -104,7 +104,12 @@ class SearchTrial:
 
 @dataclass
 class SustainableSearchResult:
-    """Outcome of a sustainable-throughput search."""
+    """Outcome of a sustainable-throughput search.
+
+    ``sustainable_rate`` is NaN when *no probed rate* was sustainable:
+    reporting an unprobed floor (e.g. the default 0.0) as "sustainable"
+    would fabricate a measurement that was never run.
+    """
 
     sustainable_rate: float
     trials: List[SearchTrial] = field(default_factory=list)
@@ -112,6 +117,11 @@ class SustainableSearchResult:
     @property
     def trial_count(self) -> int:
         return len(self.trials)
+
+    @property
+    def found(self) -> bool:
+        """Whether any probed rate was judged sustainable."""
+        return self.sustainable_rate == self.sustainable_rate
 
     def best_trial(self) -> Optional[SearchTrial]:
         """The sustainable trial at the highest rate (None if none)."""
@@ -136,7 +146,8 @@ def find_sustainable_throughput(
     starts at ``high_rate`` ("a very high generation rate"); if the SUT
     sustains it, that rate is returned (the ceiling -- e.g. Flink's
     network bound).  Otherwise the rate is refined by bisection until
-    the bracket is within ``rel_tol`` of itself.
+    the bracket is within ``rel_tol`` of itself.  If no probed rate is
+    sustainable within ``max_trials``, ``sustainable_rate`` is NaN.
     """
     if high_rate <= low_rate:
         raise ValueError(
@@ -152,13 +163,20 @@ def find_sustainable_throughput(
 
     if probe(high_rate).sustainable:
         return SustainableSearchResult(sustainable_rate=high_rate, trials=trials)
+    # Bisection: ``lo`` is the highest rate that has actually been probed
+    # and sustained (no separate ``best`` bookkeeping -- ``lo`` only ever
+    # advances on a sustained probe, so the two were always equal).
     lo, hi = low_rate, high_rate
-    best = low_rate
+    floor_sustained = False
     while len(trials) < max_trials and (hi - lo) > rel_tol * hi:
         mid = (lo + hi) / 2.0
         if probe(mid).sustainable:
             lo = mid
-            best = max(best, mid)
+            floor_sustained = True
         else:
             hi = mid
-    return SustainableSearchResult(sustainable_rate=best, trials=trials)
+    # If every probe failed, no sustainable rate was ever OBSERVED;
+    # returning low_rate (a rate that was never run) would fabricate a
+    # result.  NaN marks "not found" honestly.
+    rate = lo if floor_sustained else float("nan")
+    return SustainableSearchResult(sustainable_rate=rate, trials=trials)

@@ -21,13 +21,18 @@ from repro.sim.simulator import PeriodicProcess, Simulator
 class ThroughputMonitor:
     """Periodic sampler of the driver queues.
 
-    Series produced (all timestamped at the *end* of each interval):
+    Series produced -- each raw sample is timestamped at the moment it
+    is taken, i.e. at the *end* of the interval it covers (note that
+    :meth:`TimeSeries.binned` views of these series stamp bin *starts*,
+    so a binned view shifts labels one interval earlier than the raw
+    samples):
 
     - ``ingest_series``: events/s pulled by the SUT (Figure 9);
     - ``offered_series``: events/s pushed by the generators;
     - ``occupancy_series``: events waiting across all queues;
-    - ``queue_delay_series``: age of the oldest queued event, i.e. the
-      event-time latency floor imposed by queueing right now.
+    - ``queue_delay_series``: age (since *enqueue*, robust to event-time
+      disorder) of the oldest queued cohort, i.e. the latency floor
+      imposed by queueing right now.
     """
 
     def __init__(
@@ -71,6 +76,18 @@ class ThroughputMonitor:
         if self._process is not None:
             self._process.stop()
             self._process = None
+
+    @property
+    def sample_count(self) -> int:
+        """Number of sampling ticks taken so far."""
+        return len(self.ingest_series)
+
+    def perf_counters(self) -> dict:
+        """Driver-side metrology counters for TrialResult.diagnostics."""
+        return {
+            "monitor.samples": float(self.sample_count),
+            "monitor.interval_s": float(self.interval_s),
+        }
 
     def mean_ingest_rate(self, start_time: float = 0.0) -> float:
         """Average pull rate after ``start_time`` (the measured

@@ -73,9 +73,18 @@ class WindowSpec:
         An event at time ``t`` is in window ``i`` iff
         ``i*slide - size < t <= i*slide``, i.e.
         ``ceil(t/slide) <= i <= ceil((t+size)/slide) - 1``.
+
+        The epsilon mirrors :attr:`windows_per_event`: when ``t`` (or
+        ``t + size``) lands exactly on a window boundary, the float
+        quotient may come out a hair above the true integer and ceil
+        would shift the range by one whole window (e.g. size = slide =
+        0.8, t = 1.6: ``(t + size) / slide`` evaluates to
+        3.0000000000000004).
         """
-        first = int(math.ceil(event_time / self.slide_s))
-        last = int(math.ceil((event_time + self.size_s) / self.slide_s)) - 1
+        first = int(math.ceil(event_time / self.slide_s - 1e-9))
+        last = int(
+            math.ceil((event_time + self.size_s) / self.slide_s - 1e-9) - 1
+        )
         return first, last
 
     def window_end(self, index: int) -> float:

@@ -16,8 +16,8 @@ class TestResample:
     def test_step_interpolation(self):
         ts = TimeSeries(times=[0.0, 2.0], values=[1.0, 5.0])
         out = resample(ts, 1.0)
-        assert out.times == [0.0, 1.0, 2.0]
-        assert out.values == [1.0, 1.0, 5.0]
+        assert out.times.tolist() == [0.0, 1.0, 2.0]
+        assert out.values.tolist() == [1.0, 1.0, 5.0]
 
     def test_empty(self):
         assert len(resample(TimeSeries(), 1.0)) == 0
@@ -53,7 +53,7 @@ class TestNormalise:
     def test_starts_at_zero(self):
         ts = TimeSeries(times=[5.0, 7.0], values=[1.0, 2.0])
         out = normalise_time(ts)
-        assert out.times == [0.0, 2.0]
+        assert out.times.tolist() == [0.0, 2.0]
 
 
 class TestMovingAverage:
@@ -64,7 +64,7 @@ class TestMovingAverage:
 
     def test_window_one_identity(self):
         ts = TimeSeries(times=[0.0, 1.0], values=[1.0, 2.0])
-        assert moving_average(ts, 1).values == [1.0, 2.0]
+        assert moving_average(ts, 1).values.tolist() == [1.0, 2.0]
 
     def test_invalid_window(self):
         with pytest.raises(ValueError):

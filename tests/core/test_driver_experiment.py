@@ -100,6 +100,17 @@ class TestRunExperiment:
         result = run_experiment(small_spec())
         assert "completed" in result.describe()
 
+    def test_diagnostics_include_driver_metrology_counters(self):
+        result = run_experiment(small_spec())
+        diag = result.diagnostics
+        assert diag["collector.samples"] == float(len(result.collector))
+        assert diag["collector.collect_calls"] >= 1.0
+        assert diag["collector.memory_bytes"] > 0.0
+        assert diag["monitor.samples"] == float(
+            result.throughput.sample_count
+        )
+        assert diag["driver.summary_s"] >= 0.0
+
     def test_event_latency_at_least_processing_latency(self):
         result = run_experiment(small_spec())
         assert (

@@ -64,8 +64,8 @@ class TestSeries:
         c.collect([out(10.0, 9.0, 9.0)])
         c.collect([out(20.0, 15.0, 15.0)])
         series = c.series(EVENT_TIME)
-        assert series.times == [10.0, 20.0]
-        assert series.values == [1.0, 5.0]
+        assert series.times.tolist() == [10.0, 20.0]
+        assert series.values.tolist() == [1.0, 5.0]
 
     def test_binned_series(self):
         c = LatencyCollector()
@@ -86,3 +86,75 @@ class TestSeries:
         for t in range(0, 100, 5):
             c.collect([out(float(t), t - 2.0, t - 1.0)])
         assert abs(c.trend_slope(EVENT_TIME)) < 0.01
+
+    def test_binned_series_is_weight_aware(self):
+        """Regression: a heavy join cohort must dominate its bin's mean,
+        consistent with the weight-aware summary()."""
+        c = LatencyCollector()
+        # Same bin: latency 1.0 with weight 9, latency 11.0 with weight 1.
+        c.collect(
+            [out(10.0, 9.0, 9.0, weight=9.0), out(11.0, 0.0, 0.0, weight=1.0)]
+        )
+        binned = c.binned_series(EVENT_TIME, bin_s=5.0)
+        assert len(binned) == 1
+        # Weighted mean (9*1 + 1*11)/10 = 2.0; the old unweighted mean
+        # was (1 + 11)/2 = 6.0.
+        assert binned.values[0] == pytest.approx(2.0)
+        assert binned.values[0] == pytest.approx(
+            c.summary(EVENT_TIME).mean
+        )
+
+    def test_binned_series_max_agg_still_supported(self):
+        import numpy as np
+
+        c = LatencyCollector()
+        c.collect([out(1.0, 0.0, 0.0), out(2.0, 0.5, 0.5)])
+        binned = c.binned_series(EVENT_TIME, bin_s=5.0, agg=np.max)
+        assert binned.values[0] == pytest.approx(1.5)
+
+    def test_non_monotonic_emit_times_still_correct(self):
+        c = LatencyCollector()
+        c.collect([out(20.0, 19.0, 19.0)])
+        c.collect([out(10.0, 9.0, 9.0)])  # out-of-order emission
+        s = c.summary(EVENT_TIME, start_time=15.0)
+        assert s.count == 1
+        assert s.mean == pytest.approx(1.0)
+
+
+class TestHotPath:
+    def test_summary_cached_until_new_samples(self):
+        c = LatencyCollector()
+        c.collect([out(10.0, 9.0, 9.0)])
+        first = c.summary(EVENT_TIME)
+        assert c.summary(EVENT_TIME) is first  # cache hit
+        c.collect([out(20.0, 15.0, 15.0)])
+        second = c.summary(EVENT_TIME)
+        assert second is not first
+        assert second.count == 2
+
+    def test_chunk_rollover_preserves_all_samples(self):
+        c = LatencyCollector(chunk_rows=8)
+        for t in range(30):
+            c.collect([out(float(t), float(t) - 1.0, float(t) - 0.5)])
+        assert len(c) == 30
+        s = c.summary(EVENT_TIME)
+        assert s.count == 30
+        assert s.mean == pytest.approx(1.0)
+        series = c.series(EVENT_TIME)
+        assert series.times.tolist() == [float(t) for t in range(30)]
+
+    def test_perf_counters_exposed(self):
+        c = LatencyCollector()
+        c.collect([out(10.0, 9.0, 9.0), out(11.0, 9.0, 10.0)])
+        c.summary(EVENT_TIME)
+        counters = c.perf_counters()
+        assert counters["collector.samples"] == 2.0
+        assert counters["collector.collect_calls"] == 1.0
+        assert counters["collector.collect_s"] >= 0.0
+        assert counters["collector.samples_per_s"] > 0.0
+        assert counters["collector.memory_bytes"] > 0.0
+        assert counters["collector.consolidations"] >= 1.0
+
+    def test_invalid_chunk_rows_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyCollector(chunk_rows=0)

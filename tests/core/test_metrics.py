@@ -9,6 +9,7 @@ from repro.core.metrics import (
     StatSummary,
     TimeSeries,
     weighted_quantile,
+    weighted_quantiles,
     weighted_summary,
 )
 
@@ -99,6 +100,29 @@ class TestWeightedQuantile:
         q99 = weighted_quantile(v, w, 0.99)
         assert q50 <= q90 <= q99
 
+    @given(
+        values=st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=60),
+        weights=st.lists(st.floats(0.1, 50.0), min_size=60, max_size=60),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fused_quantiles_match_single_calls(self, values, weights):
+        """The single-sort batch path must agree exactly with computing
+        each quantile independently."""
+        v = np.asarray(values)
+        w = np.asarray(weights[: v.size])
+        qs = (0.1, 0.5, 0.90, 0.95, 0.99)
+        batch = weighted_quantiles(v, w, qs)
+        singles = [weighted_quantile(v, w, q) for q in qs]
+        assert batch.tolist() == singles
+
+    def test_fused_quantiles_empty_is_nan(self):
+        out = weighted_quantiles(np.array([]), np.array([]), (0.5, 0.9))
+        assert np.isnan(out).all()
+
+    def test_fused_quantiles_invalid_q_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_quantiles(np.array([1.0]), np.array([1.0]), (0.5, 1.5))
+
 
 class TestTimeSeries:
     def test_append_and_iter(self):
@@ -117,7 +141,7 @@ class TestTimeSeries:
     def test_window(self):
         ts = TimeSeries(times=[0.0, 1.0, 2.0, 3.0], values=[0, 1, 2, 3])
         w = ts.window(1.0, 3.0)
-        assert w.times == [1.0, 2.0]
+        assert w.times.tolist() == [1.0, 2.0]
 
     def test_slope_on_linear_data(self):
         ts = TimeSeries(times=[0.0, 1.0, 2.0, 3.0], values=[0.0, 2.0, 4.0, 6.0])
@@ -135,8 +159,8 @@ class TestTimeSeries:
             times=[0.0, 1.0, 5.0, 6.0], values=[1.0, 3.0, 10.0, 20.0]
         )
         binned = ts.binned(5.0)
-        assert binned.times == [0.0, 5.0]
-        assert binned.values == [2.0, 15.0]
+        assert binned.times.tolist() == [0.0, 5.0]
+        assert binned.values.tolist() == [2.0, 15.0]
 
     def test_binned_max(self):
         ts = TimeSeries(times=[0.0, 1.0], values=[1.0, 3.0])
@@ -163,3 +187,103 @@ class TestTimeSeries:
         for i in range(n):
             ts.append(float(i), slope * i + intercept)
         assert ts.slope_per_s() == pytest.approx(slope, abs=1e-6, rel=1e-6)
+
+
+class TestTimeSeriesNumpyBackend:
+    def test_from_arrays_round_trip(self):
+        t = np.array([1.0, 2.0, 3.0])
+        v = np.array([4.0, 5.0, 6.0])
+        ts = TimeSeries.from_arrays(t, v)
+        assert ts.times.tolist() == [1.0, 2.0, 3.0]
+        assert ts.values.tolist() == [4.0, 5.0, 6.0]
+        # Defensive copy: mutating the source must not alias the series.
+        t[0] = 99.0
+        assert ts.times[0] == 1.0
+
+    def test_from_arrays_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries.from_arrays(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_constructor_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries(times=[1.0, 2.0], values=[1.0])
+
+    def test_times_are_read_only_views(self):
+        ts = TimeSeries(times=[1.0], values=[2.0])
+        with pytest.raises(ValueError):
+            ts.times[0] = 5.0
+
+    def test_append_after_from_arrays_view(self):
+        base = np.array([1.0, 2.0])
+        ts = TimeSeries.from_arrays(base, base, copy=False)
+        ts.append(3.0, 3.0)  # triggers copy-on-append
+        assert ts.times.tolist() == [1.0, 2.0, 3.0]
+        assert base.tolist() == [1.0, 2.0]
+
+    def test_window_on_unsorted_series_preserves_order(self):
+        ts = TimeSeries(times=[5.0, 1.0, 3.0], values=[50.0, 10.0, 30.0])
+        w = ts.window(1.0, 4.0)
+        assert w.times.tolist() == [1.0, 3.0]
+        assert w.values.tolist() == [10.0, 30.0]
+
+    def test_window_sorted_uses_half_open_interval(self):
+        ts = TimeSeries(times=[0.0, 1.0, 2.0, 3.0], values=[0.0, 1.0, 2.0, 3.0])
+        assert ts.window(1.0, 3.0).times.tolist() == [1.0, 2.0]
+        assert ts.window(1.0).times.tolist() == [1.0, 2.0, 3.0]
+
+    def test_binned_weighted_mean(self):
+        ts = TimeSeries(times=[0.0, 1.0, 6.0], values=[1.0, 11.0, 4.0])
+        binned = ts.binned(5.0, weights=np.array([9.0, 1.0, 2.0]))
+        assert binned.times.tolist() == [0.0, 5.0]
+        assert binned.values.tolist() == [pytest.approx(2.0), 4.0]
+
+    def test_binned_weighted_sum(self):
+        ts = TimeSeries(times=[0.0, 1.0], values=[2.0, 3.0])
+        binned = ts.binned(5.0, agg=np.sum, weights=np.array([2.0, 4.0]))
+        assert binned.values.tolist() == [16.0]
+
+    def test_binned_weights_shape_mismatch_rejected(self):
+        ts = TimeSeries(times=[0.0, 1.0], values=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            ts.binned(5.0, weights=np.array([1.0]))
+
+    def test_binned_weighted_unsupported_agg_rejected(self):
+        ts = TimeSeries(times=[0.0], values=[1.0])
+        with pytest.raises(ValueError):
+            ts.binned(5.0, agg=np.median, weights=np.array([1.0]))
+
+    def test_binned_min_and_generic_agg(self):
+        ts = TimeSeries(
+            times=[0.0, 1.0, 5.0, 6.0], values=[4.0, 2.0, 10.0, 20.0]
+        )
+        assert ts.binned(5.0, agg=np.min).values.tolist() == [2.0, 10.0]
+        assert ts.binned(5.0, agg=np.median).values.tolist() == [3.0, 15.0]
+        assert ts.binned(5.0, agg=len).values.tolist() == [2.0, 2.0]
+
+    @given(
+        data=st.lists(
+            st.tuples(st.floats(0.0, 100.0), st.floats(-50.0, 50.0)),
+            min_size=1,
+            max_size=80,
+        ),
+        bin_s=st.floats(0.5, 20.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_vectorized_binning_matches_mask_loop(self, data, bin_s):
+        """Property: np.bincount binning == the per-bin boolean-mask
+        reference (the seed implementation)."""
+        times = sorted(t for t, _ in data)
+        values = [v for _, v in data]
+        ts = TimeSeries(times=times, values=values)
+        binned = ts.binned(bin_s)
+        # Reference: per-bin boolean masks over fresh arrays.
+        t = np.asarray(times)
+        v = np.asarray(values)
+        bins = np.floor((t - t[0]) / bin_s).astype(int)
+        ref_times, ref_values = [], []
+        for b in np.unique(bins):
+            mask = bins == b
+            ref_times.append(t[0] + float(b) * bin_s)
+            ref_values.append(float(np.mean(v[mask])))
+        assert binned.times.tolist() == pytest.approx(ref_times)
+        assert binned.values.tolist() == pytest.approx(ref_values, abs=1e-9)

@@ -86,6 +86,29 @@ class TestWatermark:
         q.pull(10.0)
         assert q.oldest_wait(now=10.0) == 0.0
 
+    def test_oldest_wait_uses_push_time_not_event_time(self):
+        """Regression: a late (disordered) record pushed just now must
+        not look 'old' to the queue-delay signal."""
+        q = DriverQueue("q")
+        # Event generated at t=2 but delivered late, enqueued at t=10.
+        q.push(make_record(event_time=2.0), at_time=10.0)
+        assert q.oldest_wait(now=10.5) == pytest.approx(0.5)
+        assert q.head_push_time() == pytest.approx(10.0)
+        # Event-time is still visible for watermark purposes.
+        assert q.head_event_time() == pytest.approx(2.0)
+
+    def test_oldest_wait_falls_back_to_event_time_without_clock(self):
+        q = DriverQueue("q")
+        q.push(make_record(event_time=3.0))  # no at_time supplied
+        assert q.oldest_wait(now=5.0) == pytest.approx(2.0)
+
+    def test_split_cohort_keeps_original_push_time(self):
+        q = DriverQueue("q")
+        q.push(make_record(event_time=0.0, weight=10.0), at_time=1.0)
+        q.pull(4.0)  # splits the head; remainder waited since t=1
+        assert q.head_push_time() == pytest.approx(1.0)
+        assert q.oldest_wait(now=6.0) == pytest.approx(5.0)
+
     def test_head_event_time(self):
         q = DriverQueue("q")
         assert q.head_event_time() is None
@@ -174,3 +197,38 @@ class TestQueueProperties:
                 break
             drained += sum(r.weight for r in batch)
         assert drained == pytest.approx(sum(weights))
+
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), st.floats(0.1, 50.0)),
+                st.tuples(st.just("pull"), st.floats(0.05, 20.0)),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_push_pull_conserves_weight_across_cohort_splits(self, ops):
+        """Property: at every step, pushed == pulled + queued, even when
+        pulls split cohorts into fractional-weight pieces."""
+        q = DriverQueue("q")
+        pushed = 0.0
+        pulled = 0.0
+        for step, (op, amount) in enumerate(ops):
+            if op == "push":
+                q.push(
+                    make_record(event_time=float(step), weight=amount),
+                    at_time=float(step),
+                )
+                pushed += amount
+            else:
+                batch = q.pull(amount)
+                pulled += sum(r.weight for r in batch)
+            assert q.pushed_weight == pytest.approx(pushed)
+            assert q.pulled_weight == pytest.approx(pulled)
+            assert q.queued_weight == pytest.approx(pushed - pulled, abs=1e-6)
+            # The push-time ledger stays aligned with the cohort deque.
+            assert (q.head_push_time() is None) == (q.head_event_time() is None)
+        remainder = sum(r.weight for r in q.pull(float("inf")))
+        assert pulled + remainder == pytest.approx(pushed)

@@ -1,5 +1,7 @@
 """Unit tests for the sustainability judgement and throughput search."""
 
+import math
+
 import pytest
 
 from repro.core.experiment import ExperimentSpec
@@ -28,8 +30,14 @@ def synthetic_result(
     failure=None,
     duration=100.0,
     outputs=True,
+    disorder_lag=0.0,
 ):
-    """Build a TrialResult with scripted queue/latency dynamics."""
+    """Build a TrialResult with scripted queue/latency dynamics.
+
+    ``disorder_lag`` shifts every generated event's event-time into the
+    past (late arrival) while the *push* still happens now -- the
+    disorder workload as seen by the driver queues.
+    """
     sim = Simulator()
     queue = DriverQueue("q")
     queues = QueueSet([queue])
@@ -37,7 +45,15 @@ def synthetic_result(
 
     def step(s):
         t = s.now
-        queue.push(Record(key=0, value=1.0, event_time=t, weight=offered))
+        queue.push(
+            Record(
+                key=0,
+                value=1.0,
+                event_time=t - disorder_lag,
+                weight=offered,
+            ),
+            at_time=t,
+        )
         keep = backlog_growth
         queue.pull(max(0.0, offered - keep))
 
@@ -114,6 +130,23 @@ class TestAssess:
         verdict = assess(synthetic_result(latency_slope=0.5), loose)
         assert verdict.sustainable
 
+    def test_disordered_but_keeping_up_trial_is_sustainable(self):
+        """Regression: events arriving 50 s late (event-time disorder)
+        while the SUT fully keeps up must not trip the
+        ``max_queue_delay_s`` rule -- queueing wait is measured from the
+        enqueue clock, not the event-time anchor."""
+        result = synthetic_result(disorder_lag=50.0)
+        assert result.throughput.queue_delay_at_end() < 1.0
+        verdict = assess(result)
+        assert verdict.sustainable, verdict.reasons
+
+    def test_disordered_overloaded_trial_still_fails(self):
+        """Disorder must not mask a genuinely growing backlog."""
+        verdict = assess(
+            synthetic_result(disorder_lag=50.0, backlog_growth=100.0)
+        )
+        assert not verdict.sustainable
+
 
 class TestSearch:
     def make_fake_run(self, capacity):
@@ -158,7 +191,9 @@ class TestSearch:
         assert result.best_trial() is not None
         assert result.best_trial().rate == result.sustainable_rate
 
-    def test_all_unsustainable_returns_low(self):
+    def test_all_unsustainable_returns_nan(self):
+        """Regression: a search where every probe fails must NOT report
+        the (never-run) low_rate floor as sustainable -- it returns NaN."""
         result = find_sustainable_throughput(
             self.spec(),
             high_rate=2000.0,
@@ -166,8 +201,17 @@ class TestSearch:
             run=self.make_fake_run(-1.0),
             max_trials=4,
         )
-        assert result.sustainable_rate == 0.0
+        assert math.isnan(result.sustainable_rate)
+        assert not result.found
         assert result.best_trial() is None
+        # Every reported trial was actually run at a positive rate.
+        assert all(t.rate > 0.0 for t in result.trials)
+
+    def test_found_flag_set_when_sustainable(self):
+        result = find_sustainable_throughput(
+            self.spec(), high_rate=500.0, run=self.make_fake_run(1000.0)
+        )
+        assert result.found
 
     def test_invalid_bracket_rejected(self):
         with pytest.raises(ValueError):

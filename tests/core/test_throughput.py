@@ -51,6 +51,24 @@ class TestSampling:
         sim.run_until(3.0)
         assert monitor.queue_delay_series.values[-1] == pytest.approx(3.0)
 
+    def test_queue_delay_ignores_event_time_disorder(self, rig):
+        """Regression: late (disordered) records pushed freshly must not
+        inflate the queue-delay signal.  Before the fix, a record with
+        event_time = now - 100 looked 100 s 'old' the moment it was
+        enqueued, and sustainability trials falsely failed."""
+        sim, queue, monitor = rig
+
+        def push_late(s):
+            queue.push(
+                make_record(event_time=s.now - 100.0), at_time=s.now
+            )
+
+        sim.every(0.5, push_late)
+        sim.run_until(3.0)
+        # Oldest cohort was enqueued at t=0.5; at the t=3 sample it has
+        # waited 2.5 s -- not 100+ s of event-time lag.
+        assert monitor.queue_delay_series.values[-1] == pytest.approx(2.5)
+
     def test_mean_ingest_rate_with_warmup_cut(self, rig):
         sim, queue, monitor = rig
 

@@ -46,8 +46,8 @@ class TestDeterminism:
         assert a.event_latency.maximum == b.event_latency.maximum
         assert a.processing_latency.mean == b.processing_latency.mean
         assert len(a.collector) == len(b.collector)
-        assert a.throughput.ingest_series.values == (
-            b.throughput.ingest_series.values
+        assert a.throughput.ingest_series.values.tolist() == (
+            b.throughput.ingest_series.values.tolist()
         )
 
     def test_different_engines_share_generator_stream(self):

@@ -94,6 +94,15 @@ class TestWindowAssignmentProperties:
         first, last = w.window_index_range(event)
         assert first == last
 
+    def test_boundary_event_float_drift_regression(self):
+        # size = slide = 0.8, t = 1.6: (t + size) / slide evaluates to
+        # 3.0000000000000004, so an un-guarded ceil assigned the event
+        # to window 3 = (1.6, 2.4] which does not contain it.
+        w = WindowSpec(0.8, 0.8)
+        first, last = w.window_index_range(1.6)
+        assert first == last == 2
+        assert w.window_start(2) < 1.6 <= w.window_end(2) + 1e-9
+
 
 class TestQueries:
     def test_aggregation_streams(self):
