@@ -19,6 +19,8 @@ Subpackages
 - ``repro.engines`` -- the three engine models and the generic engine
   interface.
 - ``repro.workloads`` -- the Rovio-inspired purchases/ads workload.
+- ``repro.faults`` -- fault schedules, the checkpointing model,
+  delivery-guarantee accounting, and recovery metrology.
 - ``repro.sim`` -- the deterministic discrete-event substrate.
 - ``repro.analysis`` -- post-processing, figure series, and the paper's
   published values for side-by-side comparison.
@@ -30,9 +32,21 @@ from repro.core import (
     TrialResult,
     assess,
     find_sustainable_throughput,
+    find_sustainable_throughput_under_faults,
     run_experiment,
 )
 from repro.engines import ENGINES, engine_class
+from repro.faults import (
+    CheckpointSpec,
+    DeliveryGuarantee,
+    FaultSchedule,
+    NetworkPartition,
+    NodeCrash,
+    ProcessRestart,
+    QueueDisconnect,
+    RecoveryMetrics,
+    SlowNode,
+)
 from repro.workloads import (
     WindowSpec,
     WindowedAggregationQuery,
@@ -42,8 +56,17 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointSpec",
+    "DeliveryGuarantee",
     "ENGINES",
     "ExperimentSpec",
+    "FaultSchedule",
+    "NetworkPartition",
+    "NodeCrash",
+    "ProcessRestart",
+    "QueueDisconnect",
+    "RecoveryMetrics",
+    "SlowNode",
     "SustainabilityCriteria",
     "TrialResult",
     "WindowSpec",
@@ -52,6 +75,7 @@ __all__ = [
     "assess",
     "engine_class",
     "find_sustainable_throughput",
+    "find_sustainable_throughput_under_faults",
     "run_experiment",
     "__version__",
 ]

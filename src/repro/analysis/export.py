@@ -63,6 +63,8 @@ def trial_to_dict(
             key: float(value) for key, value in result.diagnostics.items()
         },
     }
+    if result.recovery is not None:
+        payload["recovery"] = [m.to_dict() for m in result.recovery]
     if include_series:
         event = result.collector.binned_series(
             EVENT_TIME, bin_s=series_bin_s, start_time=result.warmup_s

@@ -7,6 +7,12 @@ Commands mirror the framework's workflow:
 - ``sweep``   -- a Table-I style sweep over engines and cluster sizes.
 - ``engines`` -- list registered engines and their cost models.
 
+Fault benchmarking rides on ``run`` and ``search`` via repeatable
+``--fault KIND@T[:DURATION]`` options (e.g. ``--fault crash@60
+--fault partition@100:10``) plus ``--checkpoint-interval`` and
+``--guarantee``; with faults, ``search`` switches to the
+sustainable-under-faults mode (recovery within ``--max-recovery``).
+
 Every command prints paper-style output and can export JSON via
 ``--output``.
 """
@@ -25,8 +31,21 @@ from repro.analysis.export import (
 from repro.core.experiment import ExperimentSpec, run_experiment
 from repro.core.generator import GeneratorConfig
 from repro.core.report import throughput_table
-from repro.core.sustainable import find_sustainable_throughput
+from repro.core.sustainable import (
+    find_sustainable_throughput,
+    find_sustainable_throughput_under_faults,
+)
 from repro.engines import ENGINES
+from repro.faults import (
+    CheckpointSpec,
+    DeliveryGuarantee,
+    FaultSchedule,
+    NetworkPartition,
+    NodeCrash,
+    ProcessRestart,
+    QueueDisconnect,
+    SlowNode,
+)
 from repro.engines.calibration import registered_models
 from repro.workloads.keys import NormalKeys, SingleKey, UniformKeys, ZipfKeys
 from repro.workloads.queries import (
@@ -41,6 +60,55 @@ KEY_DISTRIBUTIONS = {
     "single": lambda n: SingleKey(num_keys=n),
     "zipf": lambda n: ZipfKeys(n),
 }
+
+
+FAULT_KINDS = {
+    "crash": lambda at, dur: NodeCrash(at_s=at),
+    "restart": lambda at, dur: ProcessRestart(at_s=at),
+    "slow": lambda at, dur: SlowNode(at_s=at, duration_s=dur or 30.0),
+    "partition": lambda at, dur: NetworkPartition(at_s=at, duration_s=dur or 10.0),
+    "disconnect": lambda at, dur: QueueDisconnect(at_s=at, duration_s=dur or 10.0),
+}
+
+
+def parse_fault(text: str):
+    """Parse one ``--fault`` value: ``KIND@T`` or ``KIND@T:DURATION``."""
+    try:
+        kind, _, when = text.partition("@")
+        if not when:
+            raise ValueError("missing '@TIME'")
+        when, _, duration = when.partition(":")
+        builder = FAULT_KINDS.get(kind)
+        if builder is None:
+            raise ValueError(
+                f"unknown kind {kind!r} (choose from "
+                f"{', '.join(sorted(FAULT_KINDS))})"
+            )
+        return builder(float(when), float(duration) if duration else None)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"invalid fault {text!r}: {exc} "
+            "(examples: crash@60, slow@30:20, partition@100:10)"
+        ) from None
+
+
+def build_faults(args: argparse.Namespace):
+    if not getattr(args, "fault", None):
+        return None
+    return FaultSchedule(events=tuple(args.fault))
+
+
+def build_checkpoint(args: argparse.Namespace):
+    interval = getattr(args, "checkpoint_interval", None)
+    guarantee = getattr(args, "guarantee", None)
+    if interval is None and guarantee is None:
+        return None
+    kwargs = {}
+    if interval is not None:
+        kwargs["interval_s"] = interval
+    if guarantee is not None:
+        kwargs["guarantee"] = DeliveryGuarantee.parse(guarantee)
+    return CheckpointSpec(**kwargs)
 
 
 def build_query(args: argparse.Namespace):
@@ -61,6 +129,8 @@ def build_spec(args: argparse.Namespace, rate: Optional[float] = None):
         seed=args.seed,
         generator=GeneratorConfig(instances=args.generators),
         monitor_resources=not args.no_resources,
+        faults=build_faults(args),
+        checkpoint=build_checkpoint(args),
     )
 
 
@@ -110,6 +180,23 @@ def add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--output", type=str, default=None,
         help="write the result as JSON to this path",
     )
+    parser.add_argument(
+        "--fault", action="append", type=parse_fault, default=None,
+        metavar="KIND@T[:DUR]",
+        help=(
+            "inject a fault at T seconds (repeatable): crash@60, "
+            "restart@90, slow@30:20, partition@100:10, disconnect@50:10"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=None,
+        help="checkpoint interval in seconds (default: model default 10)",
+    )
+    parser.add_argument(
+        "--guarantee", default=None,
+        choices=[g.value for g in DeliveryGuarantee],
+        help="override the engine's delivery guarantee",
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -119,6 +206,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"  event-time latency   : {result.event_latency.row()}")
     print(f"  processing-time lat. : {result.processing_latency.row()}")
     print(f"  mean ingest rate     : {result.mean_ingest_rate / 1e6:.3f} M/s")
+    if result.recovery:
+        print("  fault recovery:")
+        for fault in result.recovery:
+            print(f"    {fault.describe()}")
     if args.output:
         path = write_json(trial_to_dict(result, include_series=True), args.output)
         print(f"  wrote {path}")
@@ -127,9 +218,17 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_search(args: argparse.Namespace) -> int:
     spec = build_spec(args, rate=args.high_rate)
-    search = find_sustainable_throughput(
-        spec, high_rate=args.high_rate, rel_tol=args.tolerance
-    )
+    if spec.resolved_faults() is not None:
+        search = find_sustainable_throughput_under_faults(
+            spec,
+            high_rate=args.high_rate,
+            rel_tol=args.tolerance,
+            max_recovery_time_s=args.max_recovery,
+        )
+    else:
+        search = find_sustainable_throughput(
+            spec, high_rate=args.high_rate, rel_tol=args.tolerance
+        )
     for trial in search.trials:
         verdict = "sustainable" if trial.verdict.sustainable else "UNSUSTAINABLE"
         print(f"  {trial.rate / 1e6:8.3f} M/s  {verdict}")
@@ -220,6 +319,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="probe ceiling in events/s (default: 1.6e6)",
     )
     search_parser.add_argument("--tolerance", type=float, default=0.05)
+    search_parser.add_argument(
+        "--max-recovery", type=float, default=60.0,
+        help=(
+            "with --fault: seconds within which every fault must recover "
+            "for a rate to count as sustainable (default: 60)"
+        ),
+    )
     search_parser.set_defaults(func=cmd_search)
 
     sweep_parser = sub.add_parser(

@@ -43,6 +43,7 @@ from repro.core.sustainable import (
     SustainableSearchResult,
     assess,
     find_sustainable_throughput,
+    find_sustainable_throughput_under_faults,
 )
 from repro.core.throughput import ThroughputMonitor
 
@@ -67,6 +68,7 @@ __all__ = [
     "TrialResult",
     "assess",
     "find_sustainable_throughput",
+    "find_sustainable_throughput_under_faults",
     "run_experiment",
     "weighted_summary",
 ]

@@ -36,6 +36,7 @@ from repro.core.queues import QueueSet
 from repro.core.throughput import ThroughputMonitor
 from repro.engines.base import StreamingEngine
 from repro.engines.operators.sink import Sink
+from repro.faults.metrics import RecoveryMetrics
 from repro.sim.failures import SutFailure
 from repro.sim.resources import ResourceMonitor
 from repro.sim.simulator import Simulator
@@ -65,6 +66,9 @@ class TrialResult:
     throughput: ThroughputMonitor
     resources: Optional[ResourceMonitor]
     diagnostics: Dict[str, float] = field(default_factory=dict)
+    recovery: Optional[List[RecoveryMetrics]] = None
+    """Per-fault recovery metrology (populated when the trial injected
+    faults; ``None`` for fault-free trials)."""
 
     @property
     def failed(self) -> bool:

@@ -19,6 +19,9 @@ from repro.core.generator import GeneratorConfig, build_generator_fleet
 from repro.core.queues import DriverQueue, QueueSet
 from repro.engines import engine_class
 from repro.engines.base import EngineConfig
+from repro.faults.checkpoint import CheckpointSpec
+from repro.faults.metrics import compute_recovery_metrics
+from repro.faults.schedule import FaultSchedule
 from repro.sim.cluster import ClusterSpec, paper_cluster
 from repro.sim.network import DataPlane, NetworkSpec
 from repro.sim.nodefail import NodeFailureSpec
@@ -55,8 +58,29 @@ class ExperimentSpec:
     """Retain raw output tuples on the trial's collector (correctness
     checks and ablations; costs memory on long runs)."""
     node_failure: Optional[NodeFailureSpec] = None
-    """Kill worker nodes mid-run (Related Work extension: Lopez et
-    al.'s node-failure robustness comparison)."""
+    """Kill worker nodes mid-run (legacy one-shot form; shimmed onto
+    :attr:`faults` as a single :class:`~repro.faults.schedule.NodeCrash`)."""
+    faults: Optional[FaultSchedule] = None
+    """Timeline of typed fault events injected mid-trial (the fault
+    recovery benchmark; see :mod:`repro.faults`)."""
+    checkpoint: Optional[CheckpointSpec] = None
+    """Fault-tolerance configuration.  ``None`` uses the model defaults
+    when faults are scheduled (and engages no checkpoint pauses in
+    fault-free trials)."""
+
+    def resolved_faults(self) -> Optional[FaultSchedule]:
+        """The effective fault schedule: ``faults``, or ``node_failure``
+        shimmed onto the new timeline.  Setting both is ambiguous."""
+        if self.faults is not None and self.node_failure is not None:
+            raise ValueError(
+                "set either faults or node_failure, not both "
+                "(node_failure is the legacy one-shot form)"
+            )
+        if self.faults is not None:
+            return self.faults
+        if self.node_failure is not None:
+            return FaultSchedule.from_node_failure(self.node_failure)
+        return None
 
     def rate_profile(self) -> RateProfile:
         if isinstance(self.profile, RateProfile):
@@ -127,6 +151,12 @@ def run_experiment(spec: ExperimentSpec) -> TrialResult:
             brokers.append(stage)
             downstreams.append(downstream)
         sut_queues = QueueSet(downstreams)
+    faults = spec.resolved_faults()
+    if faults is not None:
+        faults.validate_against(spec.duration_s)
+    checkpoint = spec.checkpoint
+    if checkpoint is None and faults is not None:
+        checkpoint = CheckpointSpec()
     engine_cls = engine_class(spec.engine)
     engine = engine_cls(
         sim=sim,
@@ -136,13 +166,11 @@ def run_experiment(spec: ExperimentSpec) -> TrialResult:
         rng=rng.stream(f"engine-{spec.engine}"),
         resources=resources,
         config=spec.engine_config,
+        checkpoint=checkpoint,
     )
-    if spec.node_failure is not None:
-        sim.schedule_at(
-            spec.node_failure.fail_at_s,
-            engine.inject_node_failure,
-            spec.node_failure.nodes,
-        )
+    if faults is not None:
+        for event in faults.ordered():
+            sim.schedule_at(event.at_s, engine.inject_fault, event)
     driver = BenchmarkDriver(
         sim=sim,
         engine=engine,
@@ -158,4 +186,6 @@ def run_experiment(spec: ExperimentSpec) -> TrialResult:
         stage.stop()
     if resources is not None:
         resources.stop()
+    if faults is not None:
+        result.recovery = compute_recovery_metrics(result, engine.fault_log)
     return result

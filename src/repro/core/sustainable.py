@@ -49,6 +49,13 @@ class SustainabilityCriteria:
     """Tolerated event-time latency growth (seconds per second)."""
     min_outputs: int = 1
     """The SUT must have produced at least this many output tuples."""
+    max_recovery_time_s: Optional[float] = None
+    """Under-faults mode: every injected fault must recover (latency
+    back in its pre-fault band) within this many seconds.  ``None``
+    ignores recovery metrics entirely (the plain Definition 5)."""
+    max_lost_weight: Optional[float] = None
+    """Under-faults mode: tolerated data loss across all faults (e.g.
+    ``0.0`` demands exactly-once/at-least-once behaviour)."""
 
 
 @dataclass(frozen=True)
@@ -92,6 +99,26 @@ def assess(
         )
     if len(result.collector) < criteria.min_outputs:
         reasons.append("SUT produced no output tuples")
+    if criteria.max_recovery_time_s is not None and result.recovery:
+        for fault in result.recovery:
+            if not fault.recovered:
+                reasons.append(
+                    f"{fault.kind}@{fault.fault_time_s:g}s never recovered "
+                    "to the pre-fault latency band"
+                )
+            elif fault.recovery_time_s > criteria.max_recovery_time_s:
+                reasons.append(
+                    f"{fault.kind}@{fault.fault_time_s:g}s took "
+                    f"{fault.recovery_time_s:.1f}s to recover "
+                    f"(> {criteria.max_recovery_time_s:.1f}s)"
+                )
+    if criteria.max_lost_weight is not None:
+        lost = result.diagnostics.get("lost_weight", 0.0)
+        if lost > criteria.max_lost_weight:
+            reasons.append(
+                f"lost {lost:.0f} events across faults "
+                f"(> {criteria.max_lost_weight:.0f})"
+            )
     return SustainabilityVerdict(sustainable=not reasons, reasons=reasons)
 
 
@@ -180,3 +207,42 @@ def find_sustainable_throughput(
     # result.  NaN marks "not found" honestly.
     rate = lo if floor_sustained else float("nan")
     return SustainableSearchResult(sustainable_rate=rate, trials=trials)
+
+
+def find_sustainable_throughput_under_faults(
+    spec: ExperimentSpec,
+    high_rate: float,
+    low_rate: float = 0.0,
+    rel_tol: float = 0.05,
+    criteria: Optional[SustainabilityCriteria] = None,
+    max_recovery_time_s: float = 60.0,
+    max_trials: int = 12,
+    run: Callable[[ExperimentSpec], TrialResult] = run_experiment,
+) -> SustainableSearchResult:
+    """Sustainable throughput *while surviving the fault schedule*.
+
+    The Vogel et al. robustness question: not "what rate can the engine
+    sustain" but "what rate can it sustain and still recover from every
+    injected fault within ``max_recovery_time_s``".  ``spec`` must carry
+    a fault schedule (or the legacy ``node_failure``); the plain
+    Definition 5 criteria are extended with the recovery bound, so an
+    engine that survives the faults but never catches up is judged
+    unsustainable at that rate.
+    """
+    if spec.resolved_faults() is None:
+        raise ValueError(
+            "spec has no fault schedule; use find_sustainable_throughput "
+            "for fault-free search"
+        )
+    base = criteria or SustainabilityCriteria()
+    if base.max_recovery_time_s is None:
+        base = replace(base, max_recovery_time_s=max_recovery_time_s)
+    return find_sustainable_throughput(
+        spec,
+        high_rate,
+        low_rate=low_rate,
+        rel_tol=rel_tol,
+        criteria=base,
+        max_trials=max_trials,
+        run=run,
+    )

@@ -42,6 +42,16 @@ from repro.engines.calibration import CostModel, cost_model_for
 from repro.engines.operators.sink import Sink
 from repro.engines.operators.source import SourceSet
 from repro.engines.state import StateBackend, StatePolicy
+from repro.faults.checkpoint import CheckpointSpec, RecoverySemantics
+from repro.faults.guarantees import DeliveryGuarantee, GuaranteeAccounting
+from repro.faults.schedule import (
+    FaultEvent,
+    NetworkPartition,
+    NodeCrash,
+    ProcessRestart,
+    QueueDisconnect,
+    SlowNode,
+)
 from repro.sim.cluster import ClusterSpec
 from repro.sim.failures import SutFailure
 from repro.sim.network import DataPlane
@@ -82,10 +92,12 @@ class EngineConfig:
     out-of-order stragglers (the paper's future-work extension; honoured
     by the engines' window-close conditions).  Zero reproduces the
     paper's in-order setup exactly."""
-    recovery_pause_s: float = 6.0
-    """Processing outage after a worker-node failure while the engine
-    re-schedules (lineage recomputation, checkpoint restore, topology
-    rebalancing -- see each engine's default)."""
+    recovery_pause_s: Optional[float] = None
+    """Explicit override of the processing outage after a worker-node
+    failure.  ``None`` (the default) derives the pause from the trial's
+    checkpoint model -- state bytes, checkpoint interval, NIC restore
+    bandwidth, and the engine's :class:`RecoverySemantics` -- instead of
+    a hardcoded constant (see :mod:`repro.faults.checkpoint`)."""
 
     def with_overrides(self, **kwargs) -> "EngineConfig":
         return replace(self, **kwargs)
@@ -102,6 +114,12 @@ class StreamingEngine(ABC):
     """
 
     name = "abstract"
+    recovery_semantics = RecoverySemantics.CHECKPOINT_RESTORE
+    """How this engine reconstructs state after losing a worker (drives
+    the derived recovery pause, see :mod:`repro.faults.checkpoint`)."""
+    default_guarantee = DeliveryGuarantee.EXACTLY_ONCE
+    """Delivery guarantee in the engine's paper configuration; a trial
+    can override it via ``CheckpointSpec(guarantee=...)``."""
 
     def __init__(
         self,
@@ -112,6 +130,7 @@ class StreamingEngine(ABC):
         rng: np.random.Generator,
         resources: Optional[ResourceMonitor] = None,
         config: Optional[EngineConfig] = None,
+        checkpoint: Optional[CheckpointSpec] = None,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
@@ -134,6 +153,23 @@ class StreamingEngine(ABC):
         self.ingested_weight = 0.0
         self._active_workers = cluster.workers
         self.state_lost_weight = 0.0
+        self.checkpoint = checkpoint or CheckpointSpec()
+        self._checkpoint_active = checkpoint is not None
+        self.guarantee = (
+            self.checkpoint.guarantee
+            if self.checkpoint.guarantee is not None
+            else self.default_guarantee
+        )
+        self.guarantees = GuaranteeAccounting(self.guarantee)
+        self.fault_log: List[Dict[str, float]] = []
+        self._dead_workers = 0
+        self._slow_events: List[tuple] = []
+        self._partition_until = -1.0
+        self._last_checkpoint_s = 0.0
+        self._ckpt_ingested_weight = 0.0
+        self._checkpoints_completed = 0
+        self._recovery_pause_total = 0.0
+        self._checkpoint_process: Optional[PeriodicProcess] = None
         self._tick_process: Optional[PeriodicProcess] = None
         self._paused_until = -1.0
         self._hot_fraction = query.keys.hot_fraction()
@@ -180,11 +216,20 @@ class StreamingEngine(ABC):
         self._tick_process = self.sim.every(
             self.config.tick_interval_s, self._tick, start=self.sim.now
         )
+        self._last_checkpoint_s = self.sim.now
+        self._checkpoint_process = self.sim.every(
+            self.checkpoint.interval_s,
+            self._checkpoint_tick,
+            start=self.sim.now + self.checkpoint.interval_s,
+        )
 
     def stop(self) -> None:
         if self._tick_process is not None:
             self._tick_process.stop()
             self._tick_process = None
+        if self._checkpoint_process is not None:
+            self._checkpoint_process.stop()
+            self._checkpoint_process = None
 
     @property
     def failed(self) -> bool:
@@ -203,7 +248,20 @@ class StreamingEngine(ABC):
             self.cluster, self._hot_fraction
         )
         base *= self._active_workers / self.cluster.workers
+        base *= self._slow_multiplier()
         return base / self.state.cost_multiplier
+
+    def _slow_multiplier(self) -> float:
+        """Capacity multiplier from live slow-node (straggler) faults."""
+        if not self._slow_events:
+            return 1.0
+        now = self.sim.now
+        live = [(until, m) for until, m in self._slow_events if now < until]
+        self._slow_events = live
+        multiplier = 1.0
+        for _, m in live:
+            multiplier *= m
+        return multiplier
 
     def _mean_event_bytes(self) -> float:
         sizes = [event_bytes(stream) for stream in self.query.streams]
@@ -232,6 +290,10 @@ class StreamingEngine(ABC):
                 ),
             )
             budget = self._modulate_ingest_budget(budget, dt)
+            if sim.now < self._partition_until:
+                # Network partition between queues and workers: no new
+                # ingest, but buffered data keeps processing.
+                budget = 0.0
             budget = self._apply_network_grant(budget)
             if budget > 0:
                 records = self.source.pull(budget, ingest_time=sim.now)
@@ -285,30 +347,195 @@ class StreamingEngine(ABC):
             self.state.release(-delta)
         self._last_state_bytes = target
 
-    # -- node failures ----------------------------------------------------------
+    # -- checkpointing ----------------------------------------------------------
 
-    def inject_node_failure(self, nodes: int = 1) -> None:
-        """Kill ``nodes`` workers now (Related Work extension).
+    def _checkpoint_tick(self, sim: Simulator) -> None:
+        """Complete one checkpoint: snapshot the replay frontier and --
+        when the trial opted into the fault-tolerance model -- pause the
+        pipeline for the checkpoint's synchronous part.
 
-        The engine permanently loses the workers' capacity, pauses for
-        its configured recovery time, and applies its state-recovery
-        semantics via :meth:`_on_node_failure`.
+        The bookkeeping (replay frontier) always runs so that replay
+        spans stay bounded by the interval even for engines constructed
+        without an explicit :class:`CheckpointSpec`; only the pause is
+        gated, keeping non-fault trials' numerics untouched.
         """
         if self.failed:
             return
-        nodes = min(nodes, self._active_workers - 1)
-        if nodes <= 0:
+        self._last_checkpoint_s = sim.now
+        self._ckpt_ingested_weight = self.ingested_weight
+        if (
+            self._checkpoint_active
+            and self.recovery_semantics is RecoverySemantics.CHECKPOINT_RESTORE
+        ):
+            self._checkpoints_completed += 1
+            pause = self.checkpoint.sync_pause_s(self.state.used_bytes)
+            self._paused_until = max(self._paused_until, sim.now + pause)
+
+    # -- fault injection --------------------------------------------------------
+
+    def inject_fault(self, event: FaultEvent) -> None:
+        """Apply one scheduled fault event to the running engine.
+
+        Dispatches on the event type; every application appends an entry
+        to :attr:`fault_log` (kind, time, derived pause, guarantee
+        accounting) that the driver-side recovery metrology consumes.
+        """
+        if self.failed:
+            return
+        if isinstance(event, NodeCrash):
+            self._apply_crash(event.nodes)
+        elif isinstance(event, ProcessRestart):
+            self._apply_restart(event.nodes)
+        elif isinstance(event, SlowNode):
+            self._apply_slow(event.nodes, event.factor, event.duration_s)
+        elif isinstance(event, NetworkPartition):
+            self._apply_partition(event.duration_s)
+        elif isinstance(event, QueueDisconnect):
+            self._apply_disconnect(event.queue_index, event.duration_s)
+        else:  # pragma: no cover - schedule validation prevents this
+            raise TypeError(f"unknown fault event {type(event).__name__}")
+
+    def inject_node_failure(self, nodes: int = 1) -> None:
+        """Kill ``nodes`` workers now (back-compat entry point; new code
+        schedules a :class:`~repro.faults.schedule.NodeCrash`)."""
+        self._apply_crash(nodes)
+
+    def _apply_crash(self, nodes: int) -> None:
+        """Permanently lose ``nodes`` workers: capacity drops, the
+        engine pauses for its *derived* recovery time, and the delivery
+        guarantee decides the fate of the exposed data."""
+        if self.failed or nodes <= 0:
+            return
+        if nodes >= self._active_workers:
+            # Losing every remaining worker is not something any
+            # recovery protocol survives: the trial fails.
+            self._fail(
+                SutFailure(
+                    f"{self.name}: node crash killed all "
+                    f"{self._active_workers} remaining workers",
+                    at_time=self.sim.now,
+                )
+            )
             return
         lost_fraction = nodes / self._active_workers
         self._active_workers -= nodes
-        self._paused_until = max(
-            self._paused_until, self.sim.now + self.config.recovery_pause_s
+        self._dead_workers += nodes
+        exposed = self._on_node_failure(lost_fraction)
+        lost, dup = self.guarantees.on_fault(max(0.0, exposed))
+        self.state_lost_weight += lost
+        pause = self._recovery_pause_s(lost_fraction)
+        self._pause_for_recovery(pause)
+        self._log_fault(
+            "crash",
+            pause_s=pause,
+            detection_s=self.checkpoint.detection_timeout_s,
+            exposed_weight=max(0.0, exposed),
+            lost_weight=lost,
+            duplicated_weight=dup,
         )
-        self._on_node_failure(lost_fraction)
 
-    def _on_node_failure(self, lost_fraction: float) -> None:
-        """State consequences of losing workers; default: state is
-        recovered (checkpointing / lineage), nothing is lost."""
+    def _apply_restart(self, nodes: int) -> None:
+        """Bounce ``nodes`` worker processes: the capacity loss is
+        temporary (the supervisor restarts them after the derived
+        recovery pause), but the state consequences are the same as a
+        crash -- in-memory state on the bounced workers is gone."""
+        if self.failed or nodes <= 0:
+            return
+        if nodes >= self._active_workers:
+            self._fail(
+                SutFailure(
+                    f"{self.name}: process restart bounced all "
+                    f"{self._active_workers} remaining workers",
+                    at_time=self.sim.now,
+                )
+            )
+            return
+        lost_fraction = nodes / self._active_workers
+        self._active_workers -= nodes
+        exposed = self._on_node_failure(lost_fraction)
+        lost, dup = self.guarantees.on_fault(max(0.0, exposed))
+        self.state_lost_weight += lost
+        pause = self._recovery_pause_s(lost_fraction)
+        self._pause_for_recovery(pause)
+        self.sim.schedule(pause, self._restore_workers, nodes)
+        self._log_fault(
+            "restart",
+            pause_s=pause,
+            detection_s=self.checkpoint.detection_timeout_s,
+            exposed_weight=max(0.0, exposed),
+            lost_weight=lost,
+            duplicated_weight=dup,
+        )
+
+    def _apply_slow(self, nodes: int, factor: float, duration_s: float) -> None:
+        """Degrade ``nodes`` workers to ``factor`` of their capacity for
+        ``duration_s`` (straggler; no state is lost, no pause served)."""
+        if self.failed or nodes <= 0:
+            return
+        nodes = min(nodes, self._active_workers)
+        active = self._active_workers
+        multiplier = (active - nodes + nodes * factor) / active
+        self._slow_events.append((self.sim.now + duration_s, multiplier))
+        self._log_fault("slow", pause_s=0.0)
+
+    def _apply_partition(self, duration_s: float) -> None:
+        """Cut the network between the driver queues and the workers:
+        ingest stops for ``duration_s`` while processing of already
+        buffered data continues."""
+        if self.failed:
+            return
+        self._partition_until = max(
+            self._partition_until, self.sim.now + duration_s
+        )
+        self._log_fault("partition", pause_s=0.0)
+
+    def _apply_disconnect(self, queue_index: int, duration_s: float) -> None:
+        """Disconnect one driver queue from the source operators; its
+        partition backlogs and the watermark stalls until reconnect."""
+        if self.failed or self.source is None:
+            return
+        self.source.disconnect(queue_index, until=self.sim.now + duration_s)
+        self._log_fault("disconnect", pause_s=0.0)
+
+    def _restore_workers(self, nodes: int) -> None:
+        if self.failed:
+            return
+        ceiling = self.cluster.workers - self._dead_workers
+        self._active_workers = min(self._active_workers + nodes, ceiling)
+
+    def _pause_for_recovery(self, pause: float) -> None:
+        self._recovery_pause_total += pause
+        self._paused_until = max(self._paused_until, self.sim.now + pause)
+
+    def _recovery_pause_s(self, lost_fraction: float) -> float:
+        """The processing outage for one crash/restart: the explicit
+        ``EngineConfig.recovery_pause_s`` override if set, else derived
+        from the checkpoint model and this engine's recovery semantics."""
+        if self.config.recovery_pause_s is not None:
+            return self.config.recovery_pause_s
+        return self.checkpoint.recovery_pause_s(
+            self.recovery_semantics,
+            state_bytes=self.state.used_bytes,
+            node=self.cluster.node,
+            active_workers=self._active_workers,
+            workers=self.cluster.workers,
+            replay_span_s=max(0.0, self.sim.now - self._last_checkpoint_s),
+            lost_fraction=lost_fraction,
+        )
+
+    def _log_fault(self, kind: str, **fields: float) -> None:
+        entry: Dict[str, float] = {"kind": kind, "at_s": self.sim.now}  # type: ignore[dict-item]
+        entry.update(fields)
+        self.fault_log.append(entry)
+
+    def _on_node_failure(self, lost_fraction: float) -> float:
+        """State consequences of losing workers; returns the *exposed*
+        weight whose fate the delivery guarantee decides.
+
+        Default (checkpoint-restore engines): the replay window -- all
+        weight ingested since the last completed checkpoint.
+        """
+        return max(0.0, self.ingested_weight - self._ckpt_ingested_weight)
 
     # -- JVM pauses ------------------------------------------------------------
 
@@ -360,4 +587,9 @@ class StreamingEngine(ABC):
             "state_peak_bytes": self.state.peak_bytes,
             "active_workers": float(self._active_workers),
             "state_lost_weight": self.state_lost_weight,
+            "faults_injected": float(len(self.fault_log)),
+            "lost_weight": self.guarantees.lost_weight,
+            "duplicated_weight": self.guarantees.duplicated_weight,
+            "checkpoints_completed": float(self._checkpoints_completed),
+            "recovery_pause_total_s": self._recovery_pause_total,
         }

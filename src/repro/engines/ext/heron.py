@@ -43,13 +43,15 @@ class HeronConfig(StormConfig):
     coordination_delay_base_s: float = 0.35
     emit_jitter_sigma: float = 0.25
     emit_jitter_per_worker: float = 0.03
-    recovery_pause_s: float = 8.0       # container restart via scheduler
 
 
 class HeronEngine(StormEngine):
     """Storm-compatible engine with mature backpressure (extension)."""
 
     name = "heron"
+    # Inherits Storm's tuple-replay semantics and at-most-once default:
+    # the container scheduler restarts faster, but without acking the
+    # dead container's window state is still gone.
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)

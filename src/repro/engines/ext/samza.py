@@ -33,6 +33,8 @@ from repro.engines.calibration import CostModel
 from repro.engines.operators.aggregate import aggregation_outputs
 from repro.engines.operators.join import JoinWindowStore, join_window_outputs
 from repro.engines.operators.window import KeyedWindowStore
+from repro.faults.checkpoint import RecoverySemantics
+from repro.faults.guarantees import DeliveryGuarantee
 from repro.workloads.queries import WindowedJoinQuery
 
 
@@ -47,7 +49,6 @@ class SamzaConfig(EngineConfig):
     gc_pause_mean_s: float = 0.3
     gc_pause_sigma: float = 0.5
     emit_jitter_sigma: float = 0.15
-    recovery_pause_s: float = 10.0  # changelog-backed store restore
     commit_interval_s: float = 0.5
     """Window results become visible at the next task commit."""
 
@@ -56,6 +57,10 @@ class SamzaEngine(StreamingEngine):
     """Per-partition log-consumer engine (extension)."""
 
     name = "samza"
+    # Changelog-backed store restore (a checkpoint in log form); commits
+    # are offset-based without output dedup, so replays duplicate.
+    recovery_semantics = RecoverySemantics.CHECKPOINT_RESTORE
+    default_guarantee = DeliveryGuarantee.AT_LEAST_ONCE
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)

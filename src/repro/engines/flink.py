@@ -39,6 +39,8 @@ from repro.engines.base import EngineConfig, StreamingEngine
 from repro.engines.operators.aggregate import aggregation_outputs
 from repro.engines.operators.join import JoinWindowStore, join_window_outputs
 from repro.engines.operators.window import KeyedWindowStore
+from repro.faults.checkpoint import RecoverySemantics
+from repro.faults.guarantees import DeliveryGuarantee
 from repro.sim.failures import TopologyStalled
 from repro.workloads.queries import WindowedJoinQuery
 
@@ -56,14 +58,16 @@ class FlinkConfig(EngineConfig):
     gc_pause_mean_s: float = 0.25
     gc_pause_sigma: float = 0.6
     emit_jitter_sigma: float = 0.25
-    recovery_pause_s: float = 8.0
-    """Checkpoint restore + replay since the last checkpoint."""
 
 
 class FlinkEngine(StreamingEngine):
     """Pipelined engine with credit-based backpressure."""
 
     name = "flink"
+    # Barrier checkpoints + source replay: restore the last snapshot over
+    # the surviving NICs, replay since the barrier -- exactly once.
+    recovery_semantics = RecoverySemantics.CHECKPOINT_RESTORE
+    default_guarantee = DeliveryGuarantee.EXACTLY_ONCE
 
     #: Driver-queue backlog (in seconds of single-slot capacity) beyond
     #: which a skewed join is declared unresponsive (Experiment 4).

@@ -13,7 +13,7 @@ while staying invisible to processing-time latency (Experiment 6).
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from repro.core.queues import QueueSet
 from repro.core.records import Record
@@ -25,6 +25,18 @@ class SourceSet:
     def __init__(self, queues: QueueSet) -> None:
         self._queues = queues
         self._next = 0
+        self._disconnected: Dict[int, float] = {}
+
+    def disconnect(self, queue_index: int, until: float) -> None:
+        """Make one queue unreachable until the given time (an injected
+        transient network fault, see
+        :class:`repro.faults.schedule.QueueDisconnect`).  While a queue
+        is disconnected its partition backlogs and the watermark stalls;
+        after reconnect the source drains the stranded backlog."""
+        index = queue_index % len(self._queues)
+        self._disconnected[index] = max(
+            self._disconnected.get(index, until), until
+        )
 
     def pull(self, max_weight: float, ingest_time: float) -> List[Record]:
         """Pull up to ``max_weight`` events across queues, stamping them.
@@ -41,8 +53,16 @@ class SourceSet:
         share = max(1.0, max_weight / n)
         idle_rounds = 0
         while remaining > 1e-9 and idle_rounds < n:
-            queue = self._queues.queues[self._next]
+            index = self._next
+            queue = self._queues.queues[index]
             self._next = (self._next + 1) % n
+            if self._disconnected:
+                until = self._disconnected.get(index)
+                if until is not None:
+                    if ingest_time < until:
+                        idle_rounds += 1
+                        continue
+                    del self._disconnected[index]
             batch = queue.pull(min(share, remaining))
             if not batch:
                 idle_rounds += 1

@@ -38,6 +38,8 @@ from repro.engines.base import EngineConfig, StreamingEngine
 from repro.engines.operators.aggregate import aggregation_outputs
 from repro.engines.operators.join import JoinWindowStore, join_window_outputs
 from repro.engines.operators.window import KeyedWindowStore
+from repro.faults.checkpoint import RecoverySemantics
+from repro.faults.guarantees import DeliveryGuarantee
 from repro.sim.failures import TopologyStalled
 from repro.workloads.queries import WindowedJoinQuery
 
@@ -58,9 +60,6 @@ class StormConfig(EngineConfig):
     gc_pause_mean_s: float = 0.45
     gc_pause_sigma: float = 0.6
     emit_jitter_sigma: float = 0.35
-    recovery_pause_s: float = 14.0
-    """Topology rebalancing after a node failure is slow, and replay
-    (without acking) does not restore window state."""
     burst_factor: float = 1.5
     """Spout pull rate relative to processing capacity while emitting."""
     spout_pull_period_ticks: int = 6
@@ -103,6 +102,10 @@ class StormEngine(StreamingEngine):
     """Tuple-at-a-time engine with on/off backpressure."""
 
     name = "storm"
+    # Topology rebalance + tuple replay; the naive (no-acking) setup is
+    # at-most-once: the dead workers' window state is simply gone.
+    recovery_semantics = RecoverySemantics.TUPLE_REPLAY
+    default_guarantee = DeliveryGuarantee.AT_MOST_ONCE
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -177,10 +180,17 @@ class StormEngine(StreamingEngine):
         self._pull_budget_banked = 0.0
         return released
 
-    def _on_node_failure(self, lost_fraction: float) -> None:
-        # At-most-once default: the dead worker's partition of every
-        # open window is gone (no acking/replay in the naive setup).
-        self.state_lost_weight += self._store.lose_fraction(lost_fraction)
+    def _on_node_failure(self, lost_fraction: float) -> float:
+        # The exposed data is the dead workers' partition of every open
+        # window.  Without acking (at-most-once, the naive default) it is
+        # physically dropped from the store; with acking the spout
+        # replays it, so the store keeps it but the replay duplicates
+        # (at-least-once) or deduplicates (exactly-once) downstream.
+        if self.guarantee is DeliveryGuarantee.AT_MOST_ONCE:
+            return self._store.lose_fraction(lost_fraction)
+        return lost_fraction * (
+            self._store.stored_weight() + self._inflight_weight
+        )
 
     # -- pipeline ---------------------------------------------------------
 

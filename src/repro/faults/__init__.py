@@ -1,0 +1,43 @@
+"""repro.faults -- fault-injection and recovery benchmarking.
+
+The robustness extension of the framework (after Vogel et al. 2024):
+typed fault timelines (:mod:`repro.faults.schedule`), a checkpointing
+model that derives recovery pauses from state size, checkpoint
+interval, and NIC bandwidth (:mod:`repro.faults.checkpoint`),
+delivery-guarantee accounting of lost/duplicated data
+(:mod:`repro.faults.guarantees`), and driver-side recovery metrology
+(:mod:`repro.faults.metrics`).
+
+Wire a schedule into a trial via ``ExperimentSpec(faults=...)``; the
+old ``node_failure=NodeFailureSpec(...)`` keeps working as a shim for
+a single :class:`NodeCrash`.
+"""
+
+from repro.faults.checkpoint import CheckpointSpec, RecoverySemantics
+from repro.faults.guarantees import DeliveryGuarantee, GuaranteeAccounting
+from repro.faults.metrics import RecoveryMetrics, compute_recovery_metrics
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    NetworkPartition,
+    NodeCrash,
+    ProcessRestart,
+    QueueDisconnect,
+    SlowNode,
+)
+
+__all__ = [
+    "CheckpointSpec",
+    "DeliveryGuarantee",
+    "FaultEvent",
+    "FaultSchedule",
+    "GuaranteeAccounting",
+    "NetworkPartition",
+    "NodeCrash",
+    "ProcessRestart",
+    "QueueDisconnect",
+    "RecoveryMetrics",
+    "RecoverySemantics",
+    "SlowNode",
+    "compute_recovery_metrics",
+]

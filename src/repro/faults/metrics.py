@@ -1,0 +1,192 @@
+"""Recovery metrology: what the fault benchmark actually measures.
+
+All recovery metrics are computed *driver-side* from the same series
+the paper's methodology already collects -- the sink's event-time
+latency samples and the queue-side ingest throughput.  Nothing is read
+from inside the SUT (the engine's fault log only records what was
+injected and the guarantee accounting, never a measurement).
+
+Per fault event (Vogel et al. 2024, Section IV):
+
+- **detection time** -- the failure-detector delay before the engine
+  even reacts (a property of the fault-tolerance configuration);
+- **recovery time** -- from the injection to the first return of
+  binned event-time latency into the pre-fault baseline band, sustained
+  for ``settle_bins`` consecutive bins.  Event-time latency (not
+  processing-time) is the right signal: during catch-up the engine
+  processes *old* events fast, so processing-time latency looks healthy
+  while the user-visible staleness is still recovering;
+- **catch-up throughput** -- the peak queue-drain rate between the
+  fault and recovery: how hard the engine can burst above the offered
+  rate to work off the outage backlog;
+- **post-recovery p99 vs. baseline p99** -- residual damage after
+  recovery (a smaller cluster running closer to its limit).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.latency import EVENT_TIME
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.driver import TrialResult
+
+NAN = float("nan")
+
+
+@dataclass(frozen=True)
+class RecoveryMetrics:
+    """Everything measured about one injected fault."""
+
+    kind: str
+    fault_time_s: float
+    detection_s: float
+    """Failure-detector delay (from the checkpoint model; NaN for
+    transient faults the engine does not have to detect)."""
+    injected_pause_s: float
+    """Derived (or overridden) processing outage the engine served."""
+    recovery_time_s: float
+    """Injection to sustained return into the baseline latency band;
+    NaN when latency never recovered within the trial."""
+    catchup_throughput: float
+    """Peak ingest rate (events/s) between the fault and recovery."""
+    baseline_latency_s: float
+    """Mean binned event-time latency over the pre-fault window."""
+    baseline_p99_s: float
+    post_p99_s: float
+    """p99 event-time latency after recovery (NaN if never recovered
+    or no post-recovery outputs)."""
+    lost_weight: float
+    duplicated_weight: float
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery_time_s == self.recovery_time_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        def clean(value: float) -> Optional[float]:
+            return None if value != value else float(value)
+
+        return {
+            "kind": self.kind,
+            "fault_time_s": float(self.fault_time_s),
+            "detection_s": clean(self.detection_s),
+            "injected_pause_s": clean(self.injected_pause_s),
+            "recovery_time_s": clean(self.recovery_time_s),
+            "catchup_throughput": clean(self.catchup_throughput),
+            "baseline_latency_s": clean(self.baseline_latency_s),
+            "baseline_p99_s": clean(self.baseline_p99_s),
+            "post_p99_s": clean(self.post_p99_s),
+            "lost_weight": float(self.lost_weight),
+            "duplicated_weight": float(self.duplicated_weight),
+        }
+
+    def describe(self) -> str:
+        recovery = (
+            f"{self.recovery_time_s:.1f}s" if self.recovered else "never"
+        )
+        return (
+            f"{self.kind}@{self.fault_time_s:g}s: recovery {recovery}, "
+            f"catch-up {self.catchup_throughput / 1e6:.3f} M/s, "
+            f"lost {self.lost_weight:.0f}, dup {self.duplicated_weight:.0f}"
+        )
+
+
+def _percentile(values: np.ndarray, q: float) -> float:
+    if values.size == 0:
+        return NAN
+    return float(np.percentile(values, q))
+
+
+def compute_recovery_metrics(
+    result: "TrialResult",
+    fault_log: Sequence[Mapping[str, float]],
+    bin_s: float = 1.0,
+    baseline_window_s: float = 30.0,
+    min_band_s: float = 0.5,
+    settle_bins: int = 2,
+) -> List[RecoveryMetrics]:
+    """Compute per-fault recovery metrics from one trial's series.
+
+    ``fault_log`` is the engine's injection log (kind, time, derived
+    pause, guarantee accounting per event).  The baseline band for each
+    fault is ``baseline_mean + max(2 * std, 0.25 * |mean|, min_band_s)``
+    over the ``baseline_window_s`` seconds before the injection; a fault
+    is *recovered* at the first bin inside the band with the following
+    ``settle_bins - 1`` bins also inside it.  The scan horizon for each
+    fault ends at the next fault's injection (overlapping recoveries
+    attribute each latency excursion to the fault that caused it).
+    """
+    if bin_s <= 0:
+        raise ValueError("bin_s must be positive")
+    if settle_bins < 1:
+        raise ValueError("settle_bins must be >= 1")
+    entries = sorted(fault_log, key=lambda e: e["at_s"])
+    if not entries:
+        return []
+    binned = result.collector.binned_series(EVENT_TIME, bin_s=bin_s)
+    raw = result.collector.series(EVENT_TIME)
+    ingest = result.throughput.ingest_series
+    metrics: List[RecoveryMetrics] = []
+    for i, entry in enumerate(entries):
+        fault_t = float(entry["at_s"])
+        horizon = (
+            float(entries[i + 1]["at_s"])
+            if i + 1 < len(entries)
+            else result.duration_s
+        )
+        baseline = binned.window(max(0.0, fault_t - baseline_window_s), fault_t)
+        if len(baseline):
+            base_mean = baseline.mean()
+            base_std = float(np.std(baseline.values))
+            band = base_mean + max(
+                2.0 * base_std, 0.25 * abs(base_mean), min_band_s
+            )
+        else:
+            base_mean = NAN
+            band = NAN
+        recovery_time = NAN
+        recovery_end = horizon
+        post = binned.window(fault_t, horizon)
+        if len(post) and band == band:
+            values = post.values
+            times = post.times
+            inside = values <= band
+            for j in range(inside.size):
+                stop = min(j + settle_bins, inside.size)
+                if bool(inside[j:stop].all()):
+                    recovery_end = float(times[j]) + bin_s
+                    recovery_time = max(0.0, recovery_end - fault_t)
+                    break
+        catchup_span = ingest.window(fault_t, recovery_end)
+        catchup = catchup_span.max() if len(catchup_span) else NAN
+        baseline_p99 = _percentile(
+            raw.window(max(0.0, fault_t - baseline_window_s), fault_t).values,
+            99.0,
+        )
+        post_p99 = (
+            _percentile(raw.window(recovery_end, horizon).values, 99.0)
+            if not math.isnan(recovery_time)
+            else NAN
+        )
+        metrics.append(
+            RecoveryMetrics(
+                kind=str(entry.get("kind", "fault")),
+                fault_time_s=fault_t,
+                detection_s=float(entry.get("detection_s", NAN)),
+                injected_pause_s=float(entry.get("pause_s", NAN)),
+                recovery_time_s=recovery_time,
+                catchup_throughput=catchup,
+                baseline_latency_s=base_mean,
+                baseline_p99_s=baseline_p99,
+                post_p99_s=post_p99,
+                lost_weight=float(entry.get("lost_weight", 0.0)),
+                duplicated_weight=float(entry.get("duplicated_weight", 0.0)),
+            )
+        )
+    return metrics

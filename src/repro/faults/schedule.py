@@ -1,0 +1,216 @@
+"""Typed fault events and the timeline that injects them.
+
+The paper treats failures only as trial-ending conditions (Section
+VI-A); the earlier node-failure extension modelled exactly one kill
+event.  Vogel et al. ("A Comprehensive Benchmarking Analysis of Fault
+Recovery in Stream Processing Frameworks", 2024) make the case that
+fault *recovery* is a benchmark dimension of its own: recovery time,
+catch-up throughput, and data loss/duplication under configurable
+checkpointing.  A :class:`FaultSchedule` is the workload side of that
+benchmark: an arbitrary, repeatable timeline of typed fault events
+injected into the SUT mid-trial.
+
+Event types (all driver-side injections; the engine models react):
+
+- :class:`NodeCrash` -- permanent loss of worker nodes (the old
+  ``NodeFailureSpec`` semantics).  Killing the *last* worker is a
+  :class:`~repro.sim.failures.SutFailure`, i.e. a failed trial.
+- :class:`ProcessRestart` -- a worker process dies and is restarted by
+  the resource manager: the capacity returns after the engine's derived
+  recovery pause, but in-memory state on that worker is exposed exactly
+  as in a crash.
+- :class:`SlowNode` -- straggler degradation: ``nodes`` workers run at
+  ``factor`` of their normal speed for ``duration_s``.
+- :class:`NetworkPartition` -- the SUT is transiently cut off from the
+  driver queues: no ingest for ``duration_s`` while generation (and the
+  queue backlog) continues.
+- :class:`QueueDisconnect` -- a single driver queue becomes unreachable
+  for ``duration_s``; the engine's watermark stalls on that queue, so
+  windows halt until it reconnects and the source catches up.
+
+Every event carries ``at_s``, the injection time.  Events may repeat
+and overlap; :meth:`FaultSchedule.validate_against` rejects events
+scheduled at or after the trial end (they would silently never fire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim.nodefail)
+    from repro.sim.nodefail import NodeFailureSpec
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one fault injected at ``at_s`` seconds into the trial."""
+
+    at_s: float
+
+    #: Short tag used in logs, diagnostics, and CLI parsing.
+    kind = "fault"
+
+    def __post_init__(self) -> None:
+        if self.at_s <= 0:
+            raise ValueError(f"at_s must be positive, got {self.at_s}")
+
+    @property
+    def end_s(self) -> float:
+        """Time at which the *injection* is over (instantaneous faults
+        end when they fire; transient faults end after their duration)."""
+        return self.at_s
+
+    def describe(self) -> str:
+        return f"{self.kind}@{self.at_s:g}s"
+
+
+@dataclass(frozen=True)
+class _TransientFaultEvent(FaultEvent):
+    """A fault with a bounded duration after which the injected
+    condition clears on its own."""
+
+    duration_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration_s <= 0:
+            raise ValueError(
+                f"duration_s must be positive, got {self.duration_s}"
+            )
+
+    @property
+    def end_s(self) -> float:
+        return self.at_s + self.duration_s
+
+    def describe(self) -> str:
+        return f"{self.kind}@{self.at_s:g}s for {self.duration_s:g}s"
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultEvent):
+    """Kill ``nodes`` workers permanently (capacity never returns)."""
+
+    nodes: int = 1
+    kind = "crash"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+
+
+@dataclass(frozen=True)
+class ProcessRestart(FaultEvent):
+    """Restart ``nodes`` worker processes: capacity is lost for the
+    engine's derived recovery pause, then returns."""
+
+    nodes: int = 1
+    kind = "restart"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+
+
+@dataclass(frozen=True)
+class SlowNode(_TransientFaultEvent):
+    """``nodes`` workers degrade to ``factor`` of their speed (a
+    straggler: disk contention, noisy neighbour, thermal throttling)."""
+
+    nodes: int = 1
+    factor: float = 0.5
+    kind = "slow"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if not 0.0 < self.factor < 1.0:
+            raise ValueError(
+                f"factor must be in (0, 1), got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class NetworkPartition(_TransientFaultEvent):
+    """The SUT loses network reachability to every driver queue for
+    ``duration_s``; internal processing continues on buffered data."""
+
+    kind = "partition"
+
+
+@dataclass(frozen=True)
+class QueueDisconnect(_TransientFaultEvent):
+    """One driver queue (``queue_index``) becomes unreachable for
+    ``duration_s``.  Unlike the paper's hard connection-drop rule (an
+    *overload* symptom that ends the trial), this is an injected
+    transient network fault: the connection comes back and the SUT must
+    catch up the stranded backlog."""
+
+    queue_index: int = 0
+    kind = "disconnect"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.queue_index < 0:
+            raise ValueError(
+                f"queue_index must be >= 0, got {self.queue_index}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable timeline of fault events for one trial.
+
+    Events need not be given in order and may repeat; injection order is
+    by ``at_s`` (ties preserve the given order, matching the simulator's
+    deterministic (time, sequence) event ordering).
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(
+                    f"FaultSchedule events must be FaultEvent, got {event!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.ordered())
+
+    def ordered(self) -> Tuple[FaultEvent, ...]:
+        """Events sorted by injection time (stable for ties)."""
+        return tuple(sorted(self.events, key=lambda e: e.at_s))
+
+    def validate_against(self, duration_s: float) -> None:
+        """Reject events that could never fire within the trial.
+
+        Historically a ``fail_at_s`` past the trial end was silently
+        ignored -- the trial ran as a healthy baseline while claiming to
+        be a failure experiment.  That is now an error.
+        """
+        late = [e for e in self.events if e.at_s >= duration_s]
+        if late:
+            listing = ", ".join(e.describe() for e in late)
+            raise ValueError(
+                f"fault events scheduled at/after the trial end "
+                f"({duration_s:g}s) would never fire: {listing}"
+            )
+
+    def describe(self) -> str:
+        if not self.events:
+            return "no faults"
+        return "; ".join(e.describe() for e in self.ordered())
+
+    @classmethod
+    def from_node_failure(cls, spec: "NodeFailureSpec") -> "FaultSchedule":
+        """Back-compat shim: the one-shot ``NodeFailureSpec`` becomes a
+        single :class:`NodeCrash` on the new timeline."""
+        return cls(events=(NodeCrash(at_s=spec.fail_at_s, nodes=spec.nodes),))

@@ -15,6 +15,12 @@ Engine-side consequences (implemented in the engine models):
 - state effects: Spark recomputes lost partitions from lineage and
   Flink restores from its last checkpoint (no data loss); Storm's
   non-acked window contents on the dead worker are simply gone.
+
+This one-shot spec is the *legacy* form: the full fault-benchmarking
+layer lives in :mod:`repro.faults`, and ``ExperimentSpec(node_failure=
+NodeFailureSpec(...))`` is shimmed onto it as a single
+:class:`~repro.faults.schedule.NodeCrash` (see
+:meth:`repro.faults.schedule.FaultSchedule.from_node_failure`).
 """
 
 from __future__ import annotations

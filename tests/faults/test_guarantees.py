@@ -1,0 +1,70 @@
+"""Delivery-guarantee accounting invariants (property-tested)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faults.guarantees import DeliveryGuarantee, GuaranteeAccounting
+
+exposures = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False), max_size=20
+)
+
+
+class TestParse:
+    @pytest.mark.parametrize("guarantee", list(DeliveryGuarantee))
+    def test_roundtrip(self, guarantee):
+        assert DeliveryGuarantee.parse(guarantee.value) is guarantee
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown guarantee"):
+            DeliveryGuarantee.parse("maybe-once")
+
+
+class TestAccounting:
+    def test_negative_exposure_rejected(self):
+        ledger = GuaranteeAccounting(DeliveryGuarantee.EXACTLY_ONCE)
+        with pytest.raises(ValueError):
+            ledger.on_fault(-1.0)
+
+    @given(exposures)
+    def test_exactly_once_loses_and_duplicates_nothing(self, weights):
+        ledger = GuaranteeAccounting(DeliveryGuarantee.EXACTLY_ONCE)
+        for w in weights:
+            ledger.on_fault(w)
+        assert ledger.lost_weight == 0.0
+        assert ledger.duplicated_weight == 0.0
+        assert ledger.exposed_weight == pytest.approx(sum(weights))
+        assert ledger.fault_count == len(weights)
+
+    @given(exposures)
+    def test_at_least_once_never_loses(self, weights):
+        ledger = GuaranteeAccounting(DeliveryGuarantee.AT_LEAST_ONCE)
+        for w in weights:
+            ledger.on_fault(w)
+        assert ledger.lost_weight == 0.0
+        assert ledger.duplicated_weight == pytest.approx(sum(weights))
+
+    @given(exposures)
+    def test_at_most_once_never_duplicates(self, weights):
+        ledger = GuaranteeAccounting(DeliveryGuarantee.AT_MOST_ONCE)
+        for w in weights:
+            ledger.on_fault(w)
+        assert ledger.duplicated_weight == 0.0
+        assert ledger.lost_weight == pytest.approx(sum(weights))
+
+    @given(exposures, st.sampled_from(list(DeliveryGuarantee)))
+    def test_conservation(self, weights, guarantee):
+        # Every exposed event is accounted exactly once: lost, duplicated,
+        # or recovered -- lost + duplicated never exceeds exposure.
+        ledger = GuaranteeAccounting(guarantee)
+        per_event = [ledger.on_fault(w) for w in weights]
+        assert ledger.lost_weight + ledger.duplicated_weight <= (
+            ledger.exposed_weight + 1e-6
+        )
+        assert ledger.lost_weight == pytest.approx(
+            sum(lost for lost, _ in per_event)
+        )
+        assert ledger.duplicated_weight == pytest.approx(
+            sum(dup for _, dup in per_event)
+        )

@@ -1,0 +1,94 @@
+"""Fault-event and schedule validation."""
+
+import pytest
+
+from repro.faults.schedule import (
+    FaultSchedule,
+    NetworkPartition,
+    NodeCrash,
+    ProcessRestart,
+    QueueDisconnect,
+    SlowNode,
+)
+from repro.sim.nodefail import NodeFailureSpec
+
+
+class TestEvents:
+    def test_at_s_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NodeCrash(at_s=0.0)
+        with pytest.raises(ValueError):
+            SlowNode(at_s=-1.0)
+
+    def test_nodes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NodeCrash(at_s=10.0, nodes=0)
+        with pytest.raises(ValueError):
+            ProcessRestart(at_s=10.0, nodes=-1)
+
+    def test_slow_factor_bounds(self):
+        with pytest.raises(ValueError):
+            SlowNode(at_s=10.0, factor=0.0)
+        with pytest.raises(ValueError):
+            SlowNode(at_s=10.0, factor=1.0)
+        SlowNode(at_s=10.0, factor=0.5)  # ok
+
+    def test_transient_duration_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NetworkPartition(at_s=10.0, duration_s=0.0)
+        with pytest.raises(ValueError):
+            QueueDisconnect(at_s=10.0, duration_s=-5.0)
+
+    def test_end_s(self):
+        assert NodeCrash(at_s=10.0).end_s == 10.0
+        assert NetworkPartition(at_s=10.0, duration_s=5.0).end_s == 15.0
+
+    def test_describe_carries_kind_and_time(self):
+        assert NodeCrash(at_s=60.0).describe() == "crash@60s"
+        assert "slow@30s for 20s" == SlowNode(
+            at_s=30.0, duration_s=20.0
+        ).describe()
+
+
+class TestSchedule:
+    def test_ordered_sorts_by_time(self):
+        schedule = FaultSchedule(
+            (NodeCrash(at_s=90.0), SlowNode(at_s=30.0), NodeCrash(at_s=60.0))
+        )
+        assert [e.at_s for e in schedule.ordered()] == [30.0, 60.0, 90.0]
+        assert [e.at_s for e in schedule] == [30.0, 60.0, 90.0]
+
+    def test_repeated_events_allowed(self):
+        schedule = FaultSchedule(
+            (NodeCrash(at_s=30.0), NodeCrash(at_s=60.0), NodeCrash(at_s=90.0))
+        )
+        assert len(schedule) == 3
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            FaultSchedule(("crash@60",))
+
+    def test_validate_against_rejects_late_events(self):
+        schedule = FaultSchedule((NodeCrash(at_s=50.0), NodeCrash(at_s=120.0)))
+        with pytest.raises(ValueError, match="never fire"):
+            schedule.validate_against(100.0)
+        with pytest.raises(ValueError, match="crash@120s"):
+            schedule.validate_against(120.0)  # at the boundary: too late
+        schedule.validate_against(121.0)  # ok
+
+    def test_from_node_failure_shim(self):
+        shim = FaultSchedule.from_node_failure(
+            NodeFailureSpec(fail_at_s=45.0, nodes=2)
+        )
+        assert len(shim) == 1
+        (event,) = shim.events
+        assert isinstance(event, NodeCrash)
+        assert event.at_s == 45.0
+        assert event.nodes == 2
+
+    def test_describe(self):
+        assert FaultSchedule().describe() == "no faults"
+        text = FaultSchedule(
+            (NodeCrash(at_s=60.0), NetworkPartition(at_s=30.0, duration_s=10.0))
+        ).describe()
+        assert text == "partition@30s for 10s; crash@60s"

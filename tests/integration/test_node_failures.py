@@ -51,7 +51,10 @@ class TestCapacityLoss:
         after = occupancy.window(100.0, 160.0).mean()
         assert after > before + 0.5e6
 
-    def test_cannot_kill_all_workers(self):
+    def test_killing_all_workers_fails_the_trial(self):
+        # Losing every worker is not survivable: no recovery protocol
+        # applies, so the trial is reported failed (it used to clamp to
+        # one surviving worker, silently under-injecting the fault).
         result = run_experiment(
             ExperimentSpec(
                 engine="flink",
@@ -64,8 +67,9 @@ class TestCapacityLoss:
                 monitor_resources=False,
             )
         )
-        # Clamped to leave one worker alive.
-        assert result.diagnostics["active_workers"] == 1.0
+        assert result.failed
+        assert "killed all" in result.failure
+        assert result.failure_time == pytest.approx(30.0, abs=1.5)
 
 
 class TestRecoverySemantics:
