@@ -91,3 +91,80 @@ def render_panels(
             rng = f"  [{min(finite):.2f} .. {max(finite):.2f}{unit}]"
         lines.append(f"{label:<{label_width}} {spark}{rng}")
     return "\n".join(lines)
+
+
+def render_trace(trace, width: int = 40) -> str:
+    """Horizontal-bar rendering of one lifecycle trace's spans.
+
+    Accepts an :class:`~repro.obs.trace.EventTrace` or its exported
+    dict.  Bars are proportional to each span's share of the traced
+    event's end-to-end (event-time) latency.
+    """
+    data = trace.to_dict() if hasattr(trace, "to_dict") else trace
+    spans = data.get("spans", [])
+    total = sum(s["duration_s"] for s in spans)
+    header = (
+        f"trace {data.get('trace_id', '?')} key={data.get('key', '?')} "
+        f"{data.get('stream', '')} latency {total:.3f}s"
+    )
+    lines = [header]
+    for span in spans:
+        duration = span["duration_s"]
+        frac = duration / total if total > 0 else 0.0
+        bar = "#" * int(round(frac * width))
+        if duration > 0 and not bar:
+            bar = "."
+        lines.append(f"  {span['name']:<16} {duration:9.4f}s  {bar}")
+    return "\n".join(lines)
+
+
+def render_obs_dashboard(report, width: int = 56, max_traces: int = 2) -> str:
+    """Terminal dashboard of one trial's observability report.
+
+    One sparkline per registry series (per-queue instruments are
+    collapsed into the driver aggregate to keep the panel readable), a
+    span-duration decomposition averaged over all completed traces, and
+    the first ``max_traces`` completed traces in full.
+    """
+    registry = report.registry
+    log = report.trace_log
+    lines = [
+        f"metrics registry ({registry.sample_count} samples "
+        f"@ {registry.interval_s:g}s):"
+    ]
+    panels = {
+        name: series
+        for name, series in sorted(registry.series.items())
+        if "{" not in name  # per-instance series stay in the JSON export
+    }
+    if panels:
+        lines.append(render_panels(panels, width=width))
+    else:
+        lines.append("  (no samples)")
+    completed = log.completed
+    lines.append(
+        f"traces: {log.started_count} started, {len(completed)} completed, "
+        f"{sum(1 for t in log.started if t.dropped)} dropped, "
+        f"{len(log.events)} timeline events"
+    )
+    if completed:
+        totals: dict = {}
+        for trace in completed:
+            for name, duration in trace.span_durations().items():
+                totals[name] = totals.get(name, 0.0) + duration
+        n = len(completed)
+        mean_latency = sum(
+            t.event_time_latency for t in completed
+        ) / n
+        lines.append(
+            f"mean traced event-time latency {mean_latency:.3f}s, "
+            "decomposed:"
+        )
+        for name, total in sorted(
+            totals.items(), key=lambda kv: -kv[1]
+        ):
+            share = total / (mean_latency * n) if mean_latency > 0 else 0.0
+            lines.append(f"  {name:<16} {total / n:9.4f}s  ({share:6.1%})")
+        for trace in completed[:max_traces]:
+            lines.append(render_trace(trace, width=width // 2))
+    return "\n".join(lines)

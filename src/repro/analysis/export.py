@@ -65,6 +65,8 @@ def trial_to_dict(
     }
     if result.recovery is not None:
         payload["recovery"] = [m.to_dict() for m in result.recovery]
+    if result.observability is not None:
+        payload["observability"] = result.observability.to_dict()
     if include_series:
         event = result.collector.binned_series(
             EVENT_TIME, bin_s=series_bin_s, start_time=result.warmup_s

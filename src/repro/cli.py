@@ -47,6 +47,7 @@ from repro.faults import (
     SlowNode,
 )
 from repro.engines.calibration import registered_models
+from repro.obs.context import ObsSpec
 from repro.workloads.keys import NormalKeys, SingleKey, UniformKeys, ZipfKeys
 from repro.workloads.queries import (
     WindowSpec,
@@ -111,6 +112,17 @@ def build_checkpoint(args: argparse.Namespace):
     return CheckpointSpec(**kwargs)
 
 
+def build_observability(args: argparse.Namespace):
+    sample_rate = getattr(args, "trace_sample_rate", 0) or 0
+    interval = getattr(args, "metrics_interval", None)
+    if sample_rate <= 0 and interval is None:
+        return None
+    kwargs = {"trace_sample_rate": int(sample_rate)}
+    if interval is not None:
+        kwargs["metrics_interval_s"] = interval
+    return ObsSpec(**kwargs)
+
+
 def build_query(args: argparse.Namespace):
     window = WindowSpec(args.window_size, args.window_slide)
     keys = KEY_DISTRIBUTIONS[args.keys](args.num_keys)
@@ -131,6 +143,7 @@ def build_spec(args: argparse.Namespace, rate: Optional[float] = None):
         monitor_resources=not args.no_resources,
         faults=build_faults(args),
         checkpoint=build_checkpoint(args),
+        observability=build_observability(args),
     )
 
 
@@ -197,6 +210,20 @@ def add_common_arguments(parser: argparse.ArgumentParser) -> None:
         choices=[g.value for g in DeliveryGuarantee],
         help="override the engine's delivery guarantee",
     )
+    parser.add_argument(
+        "--trace-sample-rate", type=int, default=0, metavar="N",
+        help=(
+            "trace every N-th generated cohort through the pipeline "
+            "(0 disables tracing; try 1000)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-interval", type=float, default=None, metavar="SECONDS",
+        help=(
+            "sample the metrics registry every this many simulated "
+            "seconds (enables the registry; default when enabled: 1.0)"
+        ),
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -210,6 +237,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("  fault recovery:")
         for fault in result.recovery:
             print(f"    {fault.describe()}")
+    if result.observability is not None:
+        from repro.analysis.ascii_plots import render_obs_dashboard
+
+        print(render_obs_dashboard(result.observability))
     if args.output:
         path = write_json(trial_to_dict(result, include_series=True), args.output)
         print(f"  wrote {path}")

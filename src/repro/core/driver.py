@@ -37,6 +37,7 @@ from repro.core.throughput import ThroughputMonitor
 from repro.engines.base import StreamingEngine
 from repro.engines.operators.sink import Sink
 from repro.faults.metrics import RecoveryMetrics
+from repro.obs.context import ObsContext, ObsReport
 from repro.sim.failures import SutFailure
 from repro.sim.resources import ResourceMonitor
 from repro.sim.simulator import Simulator
@@ -69,6 +70,9 @@ class TrialResult:
     recovery: Optional[List[RecoveryMetrics]] = None
     """Per-fault recovery metrology (populated when the trial injected
     faults; ``None`` for fault-free trials)."""
+    observability: Optional[ObsReport] = None
+    """Metrics registry series and lifecycle traces (populated when the
+    trial ran with an :class:`~repro.obs.context.ObsSpec`)."""
 
     @property
     def failed(self) -> bool:
@@ -100,6 +104,7 @@ class BenchmarkDriver:
         throughput_interval_s: float = 1.0,
         queues: Optional[QueueSet] = None,
         keep_outputs: bool = False,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
@@ -114,12 +119,71 @@ class BenchmarkDriver:
         self.duration_s = duration_s
         self.warmup_s = duration_s * warmup_fraction
         self.collector = LatencyCollector(keep_outputs=keep_outputs)
-        self.sink = Sink(self.collector.collect)
+        self.obs = obs
+        # With tracing on, the sink callback routes through a thin shim
+        # that finalises traces; without obs the collector is attached
+        # directly -- the measured hot path is byte-identical to before.
+        if obs is not None and obs.sampler is not None:
+            self.sink = Sink(self._collect_traced)
+        else:
+            self.sink = Sink(self.collector.collect)
         self.monitor = ThroughputMonitor(
             sim, self.queues, interval_s=throughput_interval_s
         )
+        if obs is not None:
+            self._bind_driver_gauges(obs.registry)
         self._watchdog = sim.every(1.0, self._check_engine)
         self._failure: Optional[SutFailure] = None
+
+    def _collect_traced(self, outputs) -> None:
+        """Sink callback when tracing: complete any riding traces, then
+        forward to the latency collector unchanged."""
+        log = self.obs.trace_log
+        for output in outputs:
+            traces = output.traces
+            if traces:
+                for trace in traces:
+                    trace.mark("emitted", output.emit_time)
+                    log.on_complete(trace)
+                output.traces = None
+        self.collector.collect(outputs)
+
+    def _bind_driver_gauges(self, registry) -> None:
+        """Publish driver-side instruments: per-queue depth/throughput
+        and the aggregate ingestion watermark lag.  All are polled
+        gauges -- nothing is pushed from the hot path."""
+        for queue in self.queues:
+            name = queue.name
+            registry.gauge(f"queue.depth{{{name}}}").bind(
+                lambda q=queue: q.queued_weight
+            )
+            registry.gauge(f"queue.pushed_weight{{{name}}}").bind(
+                lambda q=queue: q.pushed_weight
+            )
+            registry.gauge(f"queue.pulled_weight{{{name}}}").bind(
+                lambda q=queue: q.pulled_weight
+            )
+        registry.gauge("driver.queue_depth_total").bind(
+            lambda: self.queues.total_queued_weight
+        )
+        registry.gauge("driver.oldest_wait_s").bind(
+            lambda: self.queues.max_oldest_wait(self.sim.now)
+        )
+        registry.gauge("driver.watermark_lag_s").bind(self._watermark_lag)
+        registry.gauge("sink.emitted_weight").bind(
+            lambda: self.sink.emitted_weight
+        )
+
+    def _watermark_lag(self) -> float:
+        """How far the SUT's ingestion watermark trails the generation
+        frontier (0 before any generation)."""
+        frontier = max(
+            (q.frontier_event_time for q in self.queues), default=float("-inf")
+        )
+        watermark = self.queues.watermark
+        if frontier == float("-inf") or watermark == float("-inf"):
+            return 0.0
+        return max(0.0, frontier - watermark)
 
     def _check_engine(self, sim: Simulator) -> None:
         """Halt the run as soon as the SUT has failed (Section VI-A)."""
@@ -161,6 +225,7 @@ class BenchmarkDriver:
         diagnostics.update(self.collector.perf_counters())
         diagnostics.update(self.monitor.perf_counters())
         diagnostics["driver.summary_s"] = metrology_s
+        observability = self.obs.finalize() if self.obs is not None else None
         return TrialResult(
             engine=self.engine.name,
             workers=self.engine.cluster.workers,
@@ -177,4 +242,5 @@ class BenchmarkDriver:
             throughput=self.monitor,
             resources=self.engine.resources,
             diagnostics=diagnostics,
+            observability=observability,
         )

@@ -20,8 +20,12 @@ from repro.core.queues import DriverQueue, QueueSet
 from repro.engines import engine_class
 from repro.engines.base import EngineConfig
 from repro.faults.checkpoint import CheckpointSpec
-from repro.faults.metrics import compute_recovery_metrics
+from repro.faults.metrics import (
+    compute_recovery_metrics,
+    recovery_timeline_events,
+)
 from repro.faults.schedule import FaultSchedule
+from repro.obs.context import ObsContext, ObsSpec
 from repro.sim.cluster import ClusterSpec, paper_cluster
 from repro.sim.network import DataPlane, NetworkSpec
 from repro.sim.nodefail import NodeFailureSpec
@@ -67,6 +71,10 @@ class ExperimentSpec:
     """Fault-tolerance configuration.  ``None`` uses the model defaults
     when faults are scheduled (and engages no checkpoint pauses in
     fault-free trials)."""
+    observability: Optional[ObsSpec] = None
+    """Metrics registry + lifecycle tracing configuration.  ``None``
+    (the default) runs with observability fully disabled -- the hot
+    path is byte-identical to a pre-observability build."""
 
     def resolved_faults(self) -> Optional[FaultSchedule]:
         """The effective fault schedule: ``faults``, or ``node_failure``
@@ -120,6 +128,7 @@ def run_experiment(spec: ExperimentSpec) -> TrialResult:
         else None
     )
     profile = spec.rate_profile()
+    obs = ObsContext.build(sim, spec.observability)
     generators = build_generator_fleet(
         sim=sim,
         profile=profile,
@@ -129,6 +138,7 @@ def run_experiment(spec: ExperimentSpec) -> TrialResult:
         ],
         config=spec.generator,
         horizon_s=spec.duration_s,
+        sampler=obs.sampler if obs is not None else None,
     )
     sut_queues = None
     brokers = []
@@ -167,6 +177,7 @@ def run_experiment(spec: ExperimentSpec) -> TrialResult:
         resources=resources,
         config=spec.engine_config,
         checkpoint=checkpoint,
+        obs=obs,
     )
     if faults is not None:
         for event in faults.ordered():
@@ -180,6 +191,7 @@ def run_experiment(spec: ExperimentSpec) -> TrialResult:
         throughput_interval_s=spec.throughput_interval_s,
         queues=sut_queues,
         keep_outputs=spec.keep_outputs,
+        obs=obs,
     )
     result = driver.run()
     for stage in brokers:
@@ -188,4 +200,11 @@ def run_experiment(spec: ExperimentSpec) -> TrialResult:
         resources.stop()
     if faults is not None:
         result.recovery = compute_recovery_metrics(result, engine.fault_log)
+        if result.observability is not None and result.recovery:
+            # Recovery metrology is computed driver-side after the run;
+            # fold its milestones back into the observability timeline
+            # so traces alive through an outage carry them.
+            for event in recovery_timeline_events(result.recovery):
+                result.observability.trace_log.add_event(**event)
+            result.observability.trace_log.annotate()
     return result

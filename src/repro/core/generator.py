@@ -83,6 +83,7 @@ class DataGenerator:
         rng: np.random.Generator,
         config: GeneratorConfig,
         share: float,
+        sampler=None,
     ) -> None:
         if not 0 < share <= 1:
             raise ValueError(f"share must be in (0, 1], got {share}")
@@ -93,6 +94,9 @@ class DataGenerator:
         self.rng = rng
         self.config = config
         self.share = share
+        # Optional TraceSampler (repro.obs.trace); shared by the fleet
+        # so the 1-in-N counter runs over the global cohort sequence.
+        self.sampler = sampler
         self.generated_weight = 0.0
         self._pmf = query.keys.pmf()
         self._mean_price = (MIN_GEM_PACK_PRICE + MAX_GEM_PACK_PRICE) / 2.0
@@ -153,24 +157,65 @@ class DataGenerator:
 
     def _emit_dense(self, stream: str, weight: float, now: float) -> None:
         value = self._mean_price if stream == PURCHASES else 0.0
+        sampler = self.sampler
+        push = self.queue.push
+        if sampler is None:
+            for key, mass in enumerate(self._pmf):
+                if mass <= 0:
+                    continue
+                push(
+                    Record(
+                        key=key,
+                        value=value,
+                        event_time=now,
+                        weight=weight * mass,
+                        stream=stream,
+                    ),
+                    at_time=now,
+                )
+            return
+        # Batched sampling: count down a local int instead of paying a
+        # sampler call per cohort (see TraceSampler.due_in/take/sync).
+        # Unsampled cohorts build the exact Record the sampler-None loop
+        # builds -- the trace kwarg is only paid on the 1-in-N hit.
+        countdown = sampler.due_in()
         for key, mass in enumerate(self._pmf):
             if mass <= 0:
                 continue
-            self.queue.push(
+            countdown -= 1
+            if countdown:
+                push(
+                    Record(
+                        key=key,
+                        value=value,
+                        event_time=now,
+                        weight=weight * mass,
+                        stream=stream,
+                    ),
+                    at_time=now,
+                )
+                continue
+            cohort_weight = weight * mass
+            trace = sampler.take(key, stream, cohort_weight, now)
+            countdown = sampler.sample_rate
+            push(
                 Record(
                     key=key,
                     value=value,
                     event_time=now,
-                    weight=weight * mass,
+                    weight=cohort_weight,
                     stream=stream,
+                    trace=trace,
                 ),
                 at_time=now,
             )
+        sampler.sync(countdown)
 
     def _emit_sampled(self, stream: str, weight: float, now: float) -> None:
         k = self.config.keys_per_cohort
         keys = self.query.keys.sample(self.rng, k)
         per_key_weight = weight / k
+        sampler = self.sampler
         for key in keys:
             if stream == PURCHASES:
                 value = float(
@@ -178,6 +223,11 @@ class DataGenerator:
                 )
             else:
                 value = 0.0
+            trace = (
+                sampler.maybe_trace(int(key), stream, per_key_weight, now)
+                if sampler is not None
+                else None
+            )
             self.queue.push(
                 Record(
                     key=int(key),
@@ -185,6 +235,7 @@ class DataGenerator:
                     event_time=now,
                     weight=per_key_weight,
                     stream=stream,
+                    trace=trace,
                 ),
                 at_time=now,
             )
@@ -197,11 +248,13 @@ def build_generator_fleet(
     rng_streams: List[np.random.Generator],
     config: GeneratorConfig,
     horizon_s: float,
+    sampler=None,
 ) -> List[DataGenerator]:
     """Create ``config.instances`` generators with equal rate shares.
 
     Each generator gets its own queue sized from the profile's peak rate
     and its own RNG stream (``rng_streams`` must have one per instance).
+    An optional trace ``sampler`` is shared across the fleet.
     """
     if len(rng_streams) != config.instances:
         raise ValueError(
@@ -221,6 +274,7 @@ def build_generator_fleet(
                 rng=rng_streams[i],
                 config=config,
                 share=1.0 / config.instances,
+                sampler=sampler,
             )
         )
     return generators

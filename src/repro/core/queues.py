@@ -94,9 +94,10 @@ class DriverQueue:
         self._items.append(record)
         # NaN at_time (no driver clock supplied) falls back to the
         # cohort's event_time -- the pre-disorder-aware behaviour.
-        self._push_times.append(
-            at_time if at_time == at_time else record.event_time
-        )
+        push_time = at_time if at_time == at_time else record.event_time
+        self._push_times.append(push_time)
+        if record.trace is not None:
+            record.trace.mark("enqueued", push_time)
         self._queued_weight += record.weight
         self.pushed_weight += record.weight
         if record.event_time > self._frontier_event_time:
@@ -125,7 +126,11 @@ class DriverQueue:
                     event_time=head.event_time,
                     weight=remaining,
                     stream=head.stream,
+                    # The trace leaves with the first (admitted) part so
+                    # it observes the earliest ingestion of the cohort.
+                    trace=head.trace,
                 )
+                head.trace = None
                 head.weight -= remaining
             self._queued_weight -= taken.weight
             self.pulled_weight += taken.weight

@@ -49,9 +49,16 @@ class Record:
     ingest_time:
         Stamped by the SUT source operator when the record enters the
         system (Definition 2's anchor); ``None`` until ingested.
+    trace:
+        Optional lifecycle trace attached by the observability sampler
+        (:mod:`repro.obs.trace`); ``None`` for all but 1-in-N cohorts.
+        When a cohort splits, exactly one part keeps the trace.
     """
 
-    __slots__ = ("key", "value", "event_time", "weight", "stream", "ingest_time")
+    __slots__ = (
+        "key", "value", "event_time", "weight", "stream", "ingest_time",
+        "trace",
+    )
 
     def __init__(
         self,
@@ -61,6 +68,7 @@ class Record:
         weight: float = 1.0,
         stream: str = PURCHASES,
         ingest_time: Optional[float] = None,
+        trace: Optional[object] = None,
     ) -> None:
         if weight <= 0:
             raise ValueError(f"weight must be positive, got {weight}")
@@ -72,6 +80,7 @@ class Record:
         self.weight = weight
         self.stream = stream
         self.ingest_time = ingest_time
+        self.trace = trace
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -105,6 +114,7 @@ class OutputRecord:
         "emit_time",
         "weight",
         "window_end",
+        "traces",
     )
 
     def __init__(
@@ -116,6 +126,7 @@ class OutputRecord:
         emit_time: float,
         weight: float = 1.0,
         window_end: float = float("nan"),
+        traces: Optional[List[object]] = None,
     ) -> None:
         self.key = key
         self.value = value
@@ -124,6 +135,10 @@ class OutputRecord:
         self.emit_time = emit_time
         self.weight = weight
         self.window_end = window_end
+        # Lifecycle traces of sampled input cohorts that contributed to
+        # this output (None unless tracing is on AND a traced cohort
+        # landed in this output's window+key).
+        self.traces = traces
 
     @property
     def event_time_latency(self) -> float:
@@ -167,6 +182,9 @@ def split_cohort(record: Record, parts: int) -> List[Record]:
             weight=share,
             stream=record.stream,
             ingest_time=record.ingest_time,
+            # The trace follows exactly one part so each traced event
+            # has a single end-to-end carrier.
+            trace=record.trace if i == 0 else None,
         )
-        for _ in range(parts)
+        for i in range(parts)
     ]

@@ -23,7 +23,7 @@ buffer occupancy.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -42,7 +42,22 @@ class BackpressureMechanism(ABC):
         """Events the engine may ingest during this ``dt``-second tick."""
 
     def on_tick_end(self, now: float) -> None:
-        """Hook for mechanisms with internal clocks; default no-op."""
+        """Clock sync: engines call this at the end of EVERY tick --
+        including ticks where ``ingest_budget`` is skipped (JVM pauses,
+        recovery outages) -- with the engine's simulated time.
+
+        Mechanisms with internal clocks (:class:`OnOffThrottle`) must
+        advance them here; before this hook was wired up, a throttle's
+        clock only moved inside ``ingest_budget``, so every skipped tick
+        froze it and stall windows silently stretched in simulated time
+        (and the stall time reported to the metrics registry drifted
+        from the throughput dip the driver observes).  Default: no-op.
+        """
+
+    def metrics(self) -> Dict[str, float]:
+        """Flow-control counters published to the metrics registry
+        (stall/off/limited time in *simulated seconds*); default none."""
+        return {}
 
 
 class CreditBased(BackpressureMechanism):
@@ -53,6 +68,11 @@ class CreditBased(BackpressureMechanism):
     bottleneck smoothly.
     """
 
+    def __init__(self) -> None:
+        self.credit_limited_s = 0.0
+        """Simulated time during which the buffer credit (not raw
+        processing capacity) was the binding constraint on ingest."""
+
     def ingest_budget(
         self,
         dt: float,
@@ -61,7 +81,12 @@ class CreditBased(BackpressureMechanism):
         buffer_capacity_events: float,
     ) -> float:
         credit = max(0.0, buffer_capacity_events - buffered_events)
+        if credit < capacity_events_per_s * dt:
+            self.credit_limited_s += dt
         return min(capacity_events_per_s * dt, credit)
+
+    def metrics(self) -> Dict[str, float]:
+        return {"credit_limited_s": self.credit_limited_s}
 
 
 class OnOffThrottle(BackpressureMechanism):
@@ -107,6 +132,11 @@ class OnOffThrottle(BackpressureMechanism):
         self._stalled_until = -1.0
         self._now = 0.0
         self.stall_count = 0
+        self.stalled_s = 0.0
+        """Simulated seconds spent inside stall windows."""
+        self.off_s = 0.0
+        """Simulated seconds the throttle spent *off* (above the high
+        watermark, not counting stall time)."""
 
     @property
     def emitting(self) -> bool:
@@ -116,6 +146,37 @@ class OnOffThrottle(BackpressureMechanism):
     def stalled(self) -> bool:
         return self._now < self._stalled_until
 
+    def _advance_clock(self, target: float) -> None:
+        """Advance the throttle clock to ``target``, attributing the
+        elapsed interval to the stall/off counters.
+
+        The clock previously advanced only inside ``ingest_budget``
+        (``_now += dt``), so ticks where the engine skipped flow control
+        -- JVM pauses, post-fault recovery outages -- froze it.  A stall
+        window scheduled as ``[_now, _now + duration)`` then outlasted
+        ``duration`` in *simulated* time by however long the engine was
+        paused, and the stall time the throttle reported disagreed with
+        the zero-ingest dip the driver's throughput monitor observed.
+        Engines now sync the clock via :meth:`on_tick_end` every tick.
+        """
+        if target <= self._now:
+            return
+        stall_overlap = max(0.0, min(target, self._stalled_until) - self._now)
+        self.stalled_s += stall_overlap
+        if not self._emitting:
+            self.off_s += (target - self._now) - stall_overlap
+        self._now = target
+
+    def on_tick_end(self, now: float) -> None:
+        self._advance_clock(now)
+
+    def metrics(self) -> Dict[str, float]:
+        return {
+            "stalled_s": self.stalled_s,
+            "off_s": self.off_s,
+            "stall_count": float(self.stall_count),
+        }
+
     def ingest_budget(
         self,
         dt: float,
@@ -123,7 +184,7 @@ class OnOffThrottle(BackpressureMechanism):
         buffered_events: float,
         buffer_capacity_events: float,
     ) -> float:
-        self._now += dt
+        self._advance_clock(self._now + dt)
         if self.stalled:
             return 0.0
         fill = buffered_events / max(buffer_capacity_events, 1e-9)
@@ -195,6 +256,9 @@ class RateController(BackpressureMechanism):
         processing capacity (into blocks); the controller then corrects.
         This bounds the initial over-ingestion of Figure 11."""
         self.adjustments = 0
+        self.rate_limited_s = 0.0
+        """Simulated time during which the controller's rate limit (not
+        capacity or buffer headroom) was the binding constraint."""
 
     def ingest_budget(
         self,
@@ -205,7 +269,20 @@ class RateController(BackpressureMechanism):
     ) -> float:
         headroom = max(0.0, buffer_capacity_events - buffered_events)
         ceiling = capacity_events_per_s * self.receiver_headroom
-        return min(self.rate_limit * dt, ceiling * dt, headroom)
+        limit_grant = self.rate_limit * dt
+        if limit_grant < min(ceiling * dt, headroom):
+            self.rate_limited_s += dt
+        return min(limit_grant, ceiling * dt, headroom)
+
+    def metrics(self) -> Dict[str, float]:
+        # rate_limit is +inf until the first downward adjustment; report
+        # -1 for "uncapped" so exported series stay finite.
+        rate = self.rate_limit if self.rate_limit != float("inf") else -1.0
+        return {
+            "rate_limited_s": self.rate_limited_s,
+            "rate_limit": rate,
+            "adjustments": float(self.adjustments),
+        }
 
     def on_batch_complete(
         self,

@@ -42,6 +42,7 @@ from repro.engines.calibration import CostModel, cost_model_for
 from repro.engines.operators.sink import Sink
 from repro.engines.operators.source import SourceSet
 from repro.engines.state import StateBackend, StatePolicy
+from repro.obs.context import ObsContext
 from repro.faults.checkpoint import CheckpointSpec, RecoverySemantics
 from repro.faults.guarantees import DeliveryGuarantee, GuaranteeAccounting
 from repro.faults.schedule import (
@@ -131,8 +132,10 @@ class StreamingEngine(ABC):
         resources: Optional[ResourceMonitor] = None,
         config: Optional[EngineConfig] = None,
         checkpoint: Optional[CheckpointSpec] = None,
+        obs: Optional["ObsContext"] = None,
     ) -> None:
         self.sim = sim
+        self.obs = obs
         self.cluster = cluster
         self.query = query
         self.plane = plane
@@ -222,6 +225,8 @@ class StreamingEngine(ABC):
             self._checkpoint_tick,
             start=self.sim.now + self.checkpoint.interval_s,
         )
+        if self.obs is not None:
+            self._bind_obs_gauges(self.obs.registry)
 
     def stop(self) -> None:
         if self._tick_process is not None:
@@ -276,7 +281,10 @@ class StreamingEngine(ABC):
         try:
             if self._in_gc_pause(sim.now, dt):
                 # The JVM is stopped: no ingest, no processing, no window
-                # evaluation this tick.
+                # evaluation this tick.  The flow-control clock still
+                # advances -- stall/off windows elapse in simulated time,
+                # not in ticks-that-ran (the stall-accounting drift bug).
+                self._backpressure().on_tick_end(sim.now)
                 return
             capacity = self._capacity_events_per_s()
             assert self.source is not None
@@ -301,6 +309,7 @@ class StreamingEngine(ABC):
                     self._account_ingest(records, dt)
                     self._process(records, dt)
             self._on_tick_end(dt)
+            self._backpressure().on_tick_end(sim.now)
         except SutFailure as failure:
             self._fail(failure)
 
@@ -527,6 +536,17 @@ class StreamingEngine(ABC):
         entry: Dict[str, float] = {"kind": kind, "at_s": self.sim.now}  # type: ignore[dict-item]
         entry.update(fields)
         self.fault_log.append(entry)
+        if self.obs is not None:
+            # Mirror every injected fault onto the observability
+            # timeline so traces alive at that moment are annotated
+            # with it; a recovery pause additionally marks when
+            # processing resumes.
+            self.obs.add_event(f"fault.{kind}", self.sim.now, **fields)
+            pause = fields.get("pause_s", 0.0)
+            if pause > 0:
+                self.obs.add_event(
+                    "recovery.resume", self.sim.now + pause, cause=kind
+                )
 
     def _on_node_failure(self, lost_fraction: float) -> float:
         """State consequences of losing workers; returns the *exposed*
@@ -579,9 +599,51 @@ class StreamingEngine(ABC):
     def _on_tick_end(self, dt: float) -> None:
         """Close ready windows / advance jobs; default no-op."""
 
+    def _bind_obs_gauges(self, registry) -> None:
+        """Publish engine-side instruments as polled gauges.
+
+        Everything is pulled at the registry's sampling interval; the
+        per-event hot path stays untouched.
+        """
+        registry.gauge("engine.ingested_weight").bind(
+            lambda: self.ingested_weight
+        )
+        registry.gauge("engine.backlog_weight").bind(
+            self._internal_backlog_weight
+        )
+        registry.gauge("engine.active_workers").bind(
+            lambda: float(self._active_workers)
+        )
+        registry.gauge("engine.state_bytes").bind(
+            lambda: self.state.used_bytes
+        )
+        bp = self._backpressure()
+        for key in bp.metrics():
+            registry.gauge(f"bp.{key}").bind(
+                lambda k=key: bp.metrics().get(k, 0.0)
+            )
+        for key in self.conservation():
+            registry.gauge(f"conservation.{key}").bind(
+                lambda k=key: self.conservation().get(k, 0.0)
+            )
+
+    def conservation(self) -> Dict[str, float]:
+        """Per-operator weight-conservation ledger (all in event weight,
+        each record counted once).  Engines with window state override
+        this; the invariants tested against it:
+
+        - ``ingested == staged + admitted + dropped`` -- every ingested
+          record is either still in transit inside the engine
+          (``staged``), folded into window state, or dropped as late;
+        - ``admitted == closed + stored + lost`` -- admitted weight is
+          either released by a window close, still buffered in open
+          windows, or destroyed by a fault.
+        """
+        return {"ingested": self.ingested_weight}
+
     def diagnostics(self) -> Dict[str, float]:
         """Engine-internal counters for reports (never used as metrics)."""
-        return {
+        diag = {
             "ingested_weight": self.ingested_weight,
             "state_used_bytes": self.state.used_bytes,
             "state_peak_bytes": self.state.peak_bytes,
@@ -593,3 +655,30 @@ class StreamingEngine(ABC):
             "checkpoints_completed": float(self._checkpoints_completed),
             "recovery_pause_total_s": self._recovery_pause_total,
         }
+        for key, value in self._backpressure().metrics().items():
+            diag[f"bp.{key}"] = value
+        for key, value in self.conservation().items():
+            diag[f"conservation.{key}"] = value
+        return diag
+
+
+def windowed_conservation(store, staged: float = 0.0) -> Dict[str, float]:
+    """Conservation ledger terms for a windowed store.
+
+    Accepts a :class:`~repro.engines.operators.window.KeyedWindowStore`
+    or a :class:`~repro.engines.operators.join.JoinWindowStore` (summed
+    over both sides).  ``staged`` is weight the engine has ingested but
+    not yet offered to the store (in-flight tuples, un-fired batches).
+    """
+    sides = (
+        [store.purchases, store.ads] if hasattr(store, "purchases") else [store]
+    )
+    wpe = store.window.windows_per_event
+    return {
+        "staged": staged,
+        "admitted": sum(s.admitted_weight for s in sides),
+        "dropped": sum(s.dropped_weight for s in sides),
+        "closed": sum(s.closed_weight for s in sides),
+        "stored": sum(s.stored_weight() for s in sides) / wpe,
+        "lost": sum(s.lost_weight for s in sides),
+    }

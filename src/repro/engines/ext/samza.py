@@ -28,7 +28,11 @@ from typing import Dict, List, Union
 
 from repro.core.records import Record
 from repro.engines.backpressure import BackpressureMechanism, CreditBased
-from repro.engines.base import EngineConfig, StreamingEngine
+from repro.engines.base import (
+    EngineConfig,
+    StreamingEngine,
+    windowed_conservation,
+)
 from repro.engines.calibration import CostModel
 from repro.engines.operators.aggregate import aggregation_outputs
 from repro.engines.operators.join import JoinWindowStore, join_window_outputs
@@ -135,7 +139,7 @@ class SamzaEngine(StreamingEngine):
         assert self.sink is not None
         delay = self.config.pipeline_delay_s + self._next_commit_delay()
         if self._is_join:
-            closed = self._store.close(index)
+            closed = self._store.close(index, at_time=self.sim.now)
             delay += self.cost.bulk_emit_delay_s(
                 closed.total_weight, self.cluster
             ) * self._emit_jitter()
@@ -144,7 +148,7 @@ class SamzaEngine(StreamingEngine):
                 closed, self.query.selectivity, emit_time
             )
         else:
-            contents = self._store.close(index)
+            contents = self._store.close(index, at_time=self.sim.now)
             emit_time = self.sim.now + delay
             outputs = aggregation_outputs(contents, emit_time)
         self.windows_emitted += 1
@@ -157,6 +161,11 @@ class SamzaEngine(StreamingEngine):
         weight = sum(o.weight for o in outputs)
         self._account_emission(weight)
         self.sink.emit(outputs, self._result_bytes_per_output_weight)
+
+    def conservation(self) -> Dict[str, float]:
+        ledger = super().conservation()
+        ledger.update(windowed_conservation(self._store))
+        return ledger
 
     def diagnostics(self) -> Dict[str, float]:
         diag = super().diagnostics()

@@ -35,7 +35,11 @@ from typing import Dict, List, Union
 
 from repro.core.records import Record
 from repro.engines.backpressure import BackpressureMechanism, CreditBased
-from repro.engines.base import EngineConfig, StreamingEngine
+from repro.engines.base import (
+    EngineConfig,
+    StreamingEngine,
+    windowed_conservation,
+)
 from repro.engines.operators.aggregate import aggregation_outputs
 from repro.engines.operators.join import JoinWindowStore, join_window_outputs
 from repro.engines.operators.window import KeyedWindowStore
@@ -114,7 +118,7 @@ class FlinkEngine(StreamingEngine):
     def _close_window(self, index: int) -> None:
         assert self.sink is not None
         if self._is_join:
-            closed = self._store.close(index)
+            closed = self._store.close(index, at_time=self.sim.now)
             delay = (
                 self.config.pipeline_delay_s
                 + self.cost.bulk_emit_delay_s(closed.total_weight, self.cluster)
@@ -125,7 +129,7 @@ class FlinkEngine(StreamingEngine):
                 closed, self.query.selectivity, emit_time
             )
         else:
-            contents = self._store.close(index)
+            contents = self._store.close(index, at_time=self.sim.now)
             delay = self.config.pipeline_delay_s * self._emit_jitter()
             emit_time = self.sim.now + delay
             outputs = aggregation_outputs(contents, emit_time)
@@ -154,6 +158,11 @@ class FlinkEngine(StreamingEngine):
                 f"{threshold:.0f}",
                 at_time=self.sim.now,
             )
+
+    def conservation(self) -> Dict[str, float]:
+        ledger = super().conservation()
+        ledger.update(windowed_conservation(self._store))
+        return ledger
 
     def diagnostics(self) -> Dict[str, float]:
         diag = super().diagnostics()

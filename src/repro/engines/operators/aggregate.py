@@ -45,6 +45,11 @@ def aggregation_outputs(
     evaluation delay; the driver derives both latencies from the
     returned records.
     """
+    traces_by_key = None
+    if contents.traces:
+        traces_by_key = {}
+        for trace in contents.traces:
+            traces_by_key.setdefault(trace.key, []).append(trace)
     outputs = []
     for key, acc in contents.by_key.items():
         outputs.append(
@@ -56,6 +61,11 @@ def aggregation_outputs(
                 emit_time=emit_time,
                 weight=1.0,
                 window_end=contents.end_time,
+                traces=(
+                    traces_by_key.pop(key, None)
+                    if traces_by_key is not None
+                    else None
+                ),
             )
         )
     return outputs
@@ -73,6 +83,7 @@ class BatchPartialAggregator:
     def __init__(self, window: WindowSpec) -> None:
         self.window = window
         self._partials: Dict[int, Dict[int, WindowAccumulator]] = {}
+        self._traces: Dict[int, List] = {}
         self.batch_weight = 0.0
 
     def add(self, record: Record) -> int:
@@ -87,6 +98,12 @@ class BatchPartialAggregator:
             acc.add(record)
             updates += 1
         self.batch_weight += record.weight
+        if record.trace is not None:
+            # Same earliest-open-window rule as KeyedWindowStore; the
+            # partial aggregator never closes windows itself, so the
+            # earliest containing window is simply `first`.
+            self._traces.setdefault(first, []).append(record.trace)
+            record.trace = None
         return updates
 
     def drain(self) -> Dict[int, Dict[int, WindowAccumulator]]:
@@ -95,6 +112,12 @@ class BatchPartialAggregator:
         self._partials = {}
         self.batch_weight = 0.0
         return partials
+
+    def drain_traces(self) -> Dict[int, List]:
+        """Hand the batch's stashed traces to the job and reset."""
+        traces = self._traces
+        self._traces = {}
+        return traces
 
 
 class WindowedPartialMerger:
@@ -114,24 +137,40 @@ class WindowedPartialMerger:
         self.window = window
         self.inverse_reduce = inverse_reduce
         self._window_state: Dict[int, Dict[int, WindowAccumulator]] = {}
+        self._traces: Dict[int, List] = {}
         self._closed_through: Optional[int] = None
         self.dropped_weight = 0.0
         """Weight of late partials lost to already-emitted windows
         (normalised like KeyedWindowStore.dropped_weight)."""
+        self.absorbed_weight = 0.0
+        """Per-record weight folded into window state (normalised by
+        windows_per_event), the merger-side conservation input."""
+        self.closed_weight = 0.0
+        """Normalised weight released by pop_ready."""
 
-    def absorb(self, partials: Dict[int, Dict[int, WindowAccumulator]]) -> None:
+    def absorb(
+        self,
+        partials: Dict[int, Dict[int, WindowAccumulator]],
+        traces: Optional[Dict[int, List]] = None,
+    ) -> None:
         """Fold one batch's per-window partials into window state.
 
         Partials for windows that already closed (stragglers that were
         still queued when their window was emitted) are dropped, exactly
-        like :class:`KeyedWindowStore` drops late adds.
+        like :class:`KeyedWindowStore` drops late adds -- and so are
+        their stashed traces.
         """
         for idx, per_key in partials.items():
+            batch_weight = sum(acc.weight for acc in per_key.values())
             if self._closed_through is not None and idx <= self._closed_through:
-                self.dropped_weight += sum(
-                    acc.weight for acc in per_key.values()
-                ) / self.window.windows_per_event
+                self.dropped_weight += (
+                    batch_weight / self.window.windows_per_event
+                )
+                if traces:
+                    for trace in traces.pop(idx, []):
+                        trace.drop()
                 continue
+            self.absorbed_weight += batch_weight / self.window.windows_per_event
             state = self._window_state.setdefault(idx, {})
             for key, acc in per_key.items():
                 existing = state.get(key)
@@ -139,9 +178,17 @@ class WindowedPartialMerger:
                     existing = WindowAccumulator()
                     state[key] = existing
                 existing.merge(acc)
+        if traces:
+            for idx, idx_traces in traces.items():
+                self._traces.setdefault(idx, []).extend(idx_traces)
 
-    def pop_ready(self, through_end_time: float) -> List[WindowContents]:
-        """Close every window ending at or before ``through_end_time``."""
+    def pop_ready(
+        self, through_end_time: float, at_time: Optional[float] = None
+    ) -> List[WindowContents]:
+        """Close every window ending at or before ``through_end_time``.
+
+        ``at_time`` stamps the ``closed`` mark on buffered traces.
+        """
         ready = sorted(
             idx
             for idx in self._window_state
@@ -149,14 +196,21 @@ class WindowedPartialMerger:
         )
         closed = []
         for idx in ready:
-            closed.append(
-                WindowContents(
-                    index=idx,
-                    end_time=self.window.window_end(idx),
-                    start_time=self.window.window_start(idx),
-                    by_key=self._window_state.pop(idx),
-                )
+            traces = self._traces.pop(idx, [])
+            if traces and at_time is not None:
+                for trace in traces:
+                    trace.mark("closed", at_time)
+            contents = WindowContents(
+                index=idx,
+                end_time=self.window.window_end(idx),
+                start_time=self.window.window_start(idx),
+                by_key=self._window_state.pop(idx),
+                traces=traces,
             )
+            self.closed_weight += (
+                contents.total_weight / self.window.windows_per_event
+            )
+            closed.append(contents)
             if self._closed_through is None or idx > self._closed_through:
                 self._closed_through = idx
         return closed

@@ -48,11 +48,11 @@ class JoinWindowStore:
         ready |= set(self.ads.ready_indices(watermark))
         return sorted(ready)
 
-    def close(self, index: int) -> "ClosedJoinWindow":
+    def close(self, index: int, at_time=None) -> "ClosedJoinWindow":
         return ClosedJoinWindow(
             index=index,
-            purchases=self.purchases.close(index),
-            ads=self.ads.close(index),
+            purchases=self.purchases.close(index, at_time=at_time),
+            ads=self.ads.close(index, at_time=at_time),
         )
 
     def stored_weight(self) -> float:
@@ -122,6 +122,12 @@ def join_window_outputs(
     total_output_weight = selectivity * closed.purchases.total_weight
     event_time = closed.max_event_time
     processing_time = closed.max_processing_time
+    traces_by_key = None
+    all_traces = closed.purchases.traces + closed.ads.traces
+    if all_traces:
+        traces_by_key = {}
+        for trace in all_traces:
+            traces_by_key.setdefault(trace.key, []).append(trace)
     outputs = []
     for key, p_weight in p_keys.items():
         a_acc = a_keys.get(key)
@@ -139,6 +145,14 @@ def join_window_outputs(
                 emit_time=emit_time,
                 weight=out_weight,
                 window_end=closed.end_time,
+                # Traces from either side of the window whose key joined
+                # (an unmatched key's trace stays incomplete -- its
+                # events produced no output).
+                traces=(
+                    traces_by_key.pop(key, None)
+                    if traces_by_key is not None
+                    else None
+                ),
             )
         )
     return outputs

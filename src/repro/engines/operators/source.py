@@ -71,6 +71,8 @@ class SourceSet:
             for record in batch:
                 record.ingest_time = ingest_time
                 remaining -= record.weight
+                if record.trace is not None:
+                    record.trace.mark("ingested", ingest_time)
             pulled.extend(batch)
         return pulled
 

@@ -87,6 +87,9 @@ class WindowContents:
     end_time: float
     start_time: float
     by_key: Dict[int, WindowAccumulator] = field(default_factory=dict)
+    traces: List[object] = field(default_factory=list)
+    """Lifecycle traces of sampled cohorts whose *first* open window was
+    this one (observability; empty unless tracing is enabled)."""
 
     @property
     def total_weight(self) -> float:
@@ -119,6 +122,7 @@ class KeyedWindowStore:
     def __init__(self, window: WindowSpec) -> None:
         self.window = window
         self._windows: Dict[int, Dict[int, WindowAccumulator]] = {}
+        self._traces: Dict[int, List[object]] = {}
         self._closed_through: Optional[int] = None
         self.total_buffered_weight = 0.0
         self.dropped_weight = 0.0
@@ -131,6 +135,16 @@ class KeyedWindowStore:
         engine that cannot share aggregates across sliding windows pays
         one keyed update per window per record, as the paper notes for
         Flink)."""
+        # Conservation ledger (all in event weight, each record counted
+        # once -- per-window contributions are normalised by
+        # windows_per_event).  Invariant at any point:
+        #   admitted_weight == closed_weight
+        #                      + stored_weight()/windows_per_event
+        #                      + lost_weight
+        # and admitted_weight + dropped_weight == weight ever added.
+        self.admitted_weight = 0.0
+        self.closed_weight = 0.0
+        self.lost_weight = 0.0
 
     def add(self, record: Record) -> int:
         """Fold ``record`` into all windows containing it.
@@ -143,10 +157,13 @@ class KeyedWindowStore:
         first, last = self.window.window_index_range(record.event_time)
         updates = 0
         missed = 0
+        first_open: Optional[int] = None
         for idx in range(first, last + 1):
             if self._closed_through is not None and idx <= self._closed_through:
                 missed += 1
                 continue
+            if first_open is None:
+                first_open = idx
             per_key = self._windows.get(idx)
             if per_key is None:
                 per_key = {}
@@ -164,6 +181,18 @@ class KeyedWindowStore:
                 missed / self.window.windows_per_event
             )
         self.updates += updates
+        self.admitted_weight += record.weight * (
+            updates / self.window.windows_per_event
+        )
+        if record.trace is not None:
+            # The trace waits in the *earliest* open window it landed in
+            # (that window's close ends the event's buffering span);
+            # fully-late records never emit, so their trace is dropped.
+            if first_open is None:
+                record.trace.drop()
+            else:
+                self._traces.setdefault(first_open, []).append(record.trace)
+            record.trace = None
         return updates
 
     def ready_indices(self, watermark: float) -> List[int]:
@@ -175,23 +204,32 @@ class KeyedWindowStore:
         ]
         return sorted(ready)
 
-    def close(self, index: int) -> WindowContents:
-        """Pop a window's contents; further adds to it are ignored."""
+    def close(self, index: int, at_time: Optional[float] = None) -> WindowContents:
+        """Pop a window's contents; further adds to it are ignored.
+
+        ``at_time`` (the engine's clock at close) stamps the ``closed``
+        mark on any traces buffered in this window.
+        """
         per_key = self._windows.pop(index, {})
+        traces = self._traces.pop(index, [])
+        if traces and at_time is not None:
+            for trace in traces:
+                trace.mark("closed", at_time)
         contents = WindowContents(
             index=index,
             end_time=self.window.window_end(index),
             start_time=self.window.window_start(index),
             by_key=per_key,
+            traces=traces,
         )
         if self._closed_through is None or index > self._closed_through:
             self._closed_through = index
         # A record contributes its weight once per containing window; on
         # close, release this window's share of the buffered weight.
+        released = contents.total_weight / self.window.windows_per_event
+        self.closed_weight += released
         self.total_buffered_weight = max(
-            0.0,
-            self.total_buffered_weight
-            - contents.total_weight / self.window.windows_per_event,
+            0.0, self.total_buffered_weight - released
         )
         return contents
 
@@ -230,4 +268,5 @@ class KeyedWindowStore:
                 lost += acc.weight * fraction
                 acc.weight *= keep
                 acc.value *= keep
+        self.lost_weight += lost / self.window.windows_per_event
         return lost

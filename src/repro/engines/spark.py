@@ -35,7 +35,11 @@ from collections import deque
 
 from repro.core.records import Record
 from repro.engines.backpressure import BackpressureMechanism, RateController
-from repro.engines.base import EngineConfig, StreamingEngine
+from repro.engines.base import (
+    EngineConfig,
+    StreamingEngine,
+    windowed_conservation,
+)
 from repro.engines.operators.aggregate import (
     BatchPartialAggregator,
     WindowedPartialMerger,
@@ -122,15 +126,26 @@ class _SparkJob:
         "batch_end",
         "volume",
         "partials",
+        "traces",
         "watermark",
         "created_at",
         "sched_delay",
     )
 
-    def __init__(self, batch_end, volume, partials, watermark, created_at, sched_delay):
+    def __init__(
+        self,
+        batch_end,
+        volume,
+        partials,
+        watermark,
+        created_at,
+        sched_delay,
+        traces=None,
+    ):
         self.batch_end = batch_end
         self.volume = volume
         self.partials = partials
+        self.traces = traces
         self.watermark = watermark
         self.created_at = created_at
         self.sched_delay = sched_delay
@@ -258,14 +273,17 @@ class SparkEngine(StreamingEngine):
         if self._is_join:
             volume = self._batch_weight
             partials = None
+            traces = None
             self._batch_weight = 0.0
         else:
             volume = self._partials.batch_weight
             partials = self._partials.drain()
+            traces = self._partials.drain_traces()
         job = _SparkJob(
             batch_end=batch_end,
             volume=volume,
             partials=partials,
+            traces=traces,
             watermark=self.source.watermark,
             created_at=self.sim.now,
             sched_delay=self._sample_scheduler_delay(),
@@ -367,7 +385,7 @@ class SparkEngine(StreamingEngine):
         outputs = []
         if self._is_join:
             for index in self._join_store.ready_indices(effective_watermark):
-                closed = self._join_store.close(index)
+                closed = self._join_store.close(index, at_time=emit_time)
                 outputs.extend(
                     join_window_outputs(
                         closed, self.query.selectivity, emit_time
@@ -377,14 +395,45 @@ class SparkEngine(StreamingEngine):
             self._update_state_usage(self._join_store.stored_weight())
         else:
             if job.partials:
-                self._merger.absorb(job.partials)
-            for contents in self._merger.pop_ready(effective_watermark):
+                self._merger.absorb(job.partials, traces=job.traces)
+            for contents in self._merger.pop_ready(
+                effective_watermark, at_time=emit_time
+            ):
                 outputs.extend(aggregation_outputs(contents, emit_time))
                 self.windows_emitted += 1
         if outputs:
             weight = sum(o.weight for o in outputs)
             self._account_emission(weight)
             self.sink.emit(outputs, self._result_bytes_per_output_weight)
+
+    def conservation(self) -> Dict[str, float]:
+        ledger = super().conservation()
+        if self._is_join:
+            # Join records enter the window store on ingest; the batch
+            # counter is bookkeeping, not a separate stage.
+            ledger.update(windowed_conservation(self._join_store))
+            return ledger
+        # Aggregation records are staged twice before reaching window
+        # state: the current (un-fired) batch's partials, then the fired
+        # batch riding its queued/running job until the merger absorbs it.
+        staged = self._partials.batch_weight
+        staged += sum(job.volume for job in self._job_queue)
+        if self._running_job is not None:
+            staged += self._running_job.volume
+        ledger.update(
+            staged=staged,
+            admitted=self._merger.absorbed_weight,
+            dropped=self._merger.dropped_weight,
+            closed=self._merger.closed_weight,
+            stored=(
+                self._merger.stored_weight()
+                / self.query.window.windows_per_event
+            ),
+            # Lineage recompute re-derives lost partitions exactly; no
+            # weight is ever destroyed.
+            lost=0.0,
+        )
+        return ledger
 
     def diagnostics(self) -> Dict[str, float]:
         diag = super().diagnostics()

@@ -34,7 +34,11 @@ from typing import Deque, Dict, List, Union
 
 from repro.core.records import Record
 from repro.engines.backpressure import BackpressureMechanism, OnOffThrottle
-from repro.engines.base import EngineConfig, StreamingEngine
+from repro.engines.base import (
+    EngineConfig,
+    StreamingEngine,
+    windowed_conservation,
+)
 from repro.engines.operators.aggregate import aggregation_outputs
 from repro.engines.operators.join import JoinWindowStore, join_window_outputs
 from repro.engines.operators.window import KeyedWindowStore
@@ -254,7 +258,11 @@ class StormEngine(StreamingEngine):
                     weight=budget,
                     stream=head.stream,
                     ingest_time=head.ingest_time,
+                    # A trace rides the first drained part of its cohort
+                    # (same convention as split_cohort / queue splits).
+                    trace=head.trace,
                 )
+                head.trace = None
                 head.weight -= budget
             self._inflight_weight -= taken.weight
             budget -= taken.weight
@@ -300,7 +308,7 @@ class StormEngine(StreamingEngine):
 
     def _close_window(self, index: int) -> None:
         cfg: StormConfig = self.config
-        closed = self._store.close(index)
+        closed = self._store.close(index, at_time=self.sim.now)
         stored = closed.total_weight
         bulk = self.cost.bulk_emit_delay_s(stored, self.cluster)
         coordination = cfg.coordination_delay_base_s * (
@@ -349,6 +357,15 @@ class StormEngine(StreamingEngine):
                 "(memory issues and topology stalls, paper Experiment 2)",
                 at_time=self.sim.now,
             )
+
+    def conservation(self) -> Dict[str, float]:
+        # Spout-pulled tuples wait in the executor queues (inflight)
+        # before the bolt folds them into window state.
+        ledger = super().conservation()
+        ledger.update(
+            windowed_conservation(self._store, staged=self._inflight_weight)
+        )
+        return ledger
 
     def diagnostics(self) -> Dict[str, float]:
         diag = super().diagnostics()

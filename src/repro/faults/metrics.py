@@ -97,6 +97,40 @@ class RecoveryMetrics:
         )
 
 
+def recovery_timeline_events(
+    metrics: Sequence[RecoveryMetrics],
+) -> List[Dict[str, Any]]:
+    """Convert recovery metrology into observability timeline events.
+
+    Each fault yields a ``recovery.detected`` event (injection plus the
+    detector delay) and -- when latency returned to the baseline band --
+    a ``recovery.recovered`` event at that instant, so traces alive
+    through the outage are annotated with the measured recovery, not
+    just the injection (see :meth:`repro.obs.trace.TraceLog.annotate`).
+    Keys match :meth:`TraceLog.add_event`'s signature.
+    """
+    events: List[Dict[str, Any]] = []
+    for m in metrics:
+        detection = m.detection_s if m.detection_s == m.detection_s else 0.0
+        events.append(
+            {
+                "kind": "recovery.detected",
+                "at_time": m.fault_time_s + detection,
+                "cause": m.kind,
+            }
+        )
+        if m.recovered:
+            events.append(
+                {
+                    "kind": "recovery.recovered",
+                    "at_time": m.fault_time_s + m.recovery_time_s,
+                    "cause": m.kind,
+                    "catchup_throughput": m.catchup_throughput,
+                }
+            )
+    return events
+
+
 def _percentile(values: np.ndarray, q: float) -> float:
     if values.size == 0:
         return NAN

@@ -1,0 +1,43 @@
+"""Observability: metrics registry + sampled event-lifecycle tracing.
+
+See DESIGN.md section 9.  The public surface:
+
+- :class:`ObsSpec` / :class:`ObsContext` / :class:`ObsReport` -- wiring
+  (spec on the experiment, context threaded through a trial, report on
+  the result);
+- :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments;
+- :class:`EventTrace` / :class:`TraceSampler` / :class:`TraceLog` --
+  the 1-in-N lifecycle tracer.
+"""
+
+from repro.obs.context import ObsContext, ObsReport, ObsSpec
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    CLOSED,
+    CREATED,
+    EMITTED,
+    ENQUEUED,
+    INGESTED,
+    EventTrace,
+    TraceLog,
+    TraceSampler,
+)
+
+__all__ = [
+    "ObsContext",
+    "ObsReport",
+    "ObsSpec",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EventTrace",
+    "TraceLog",
+    "TraceSampler",
+    "CREATED",
+    "ENQUEUED",
+    "INGESTED",
+    "CLOSED",
+    "EMITTED",
+]

@@ -88,6 +88,85 @@ class TestOnOffThrottle:
         assert not bp.stalled
 
 
+class TestOnOffThrottleStallAccounting:
+    """Regression: stall time must be measured on the *simulated* clock.
+
+    The throttle's clock used to advance only inside ``ingest_budget``,
+    so ticks the engine skipped (JVM pauses, recovery outages) froze it
+    and a stall window silently outlasted its nominal duration in
+    simulated time.  Engines now sync the clock through ``on_tick_end``
+    on every tick; these tests pin the invariant down at the unit level
+    (the integration pin against the driver's ThroughputMonitor lives
+    in tests/integration/test_stall_accounting.py).
+    """
+
+    def make_stalled(self, duration_s=2.0):
+        bp = OnOffThrottle(stall_duration_s=duration_s)
+        bp.ingest_budget(0.1, 1000.0, 0.0, 10_000.0)
+        bp.force_stall()
+        return bp
+
+    def test_stalled_s_equals_duration_under_normal_ticking(self):
+        bp = self.make_stalled(duration_s=2.0)
+        for _ in range(40):
+            bp.ingest_budget(0.1, 1000.0, 0.0, 10_000.0)
+            bp.on_tick_end(bp._now)
+        assert bp.stalled_s == pytest.approx(2.0)
+
+    def test_skipped_ticks_do_not_stretch_the_stall(self):
+        """The old bug: freeze the clock for 3 s of engine pause in the
+        middle of a 2 s stall and the stall ran 5 s of simulated time.
+        With the on_tick_end sync it must still account exactly 2 s."""
+        bp = self.make_stalled(duration_s=2.0)
+        now = bp._now
+        for _ in range(10):  # 1 s of normal ticking
+            now += 0.1
+            bp.ingest_budget(0.1, 1000.0, 0.0, 10_000.0)
+            bp.on_tick_end(now)
+        for _ in range(30):  # 3 s of paused engine: no ingest_budget
+            now += 0.1
+            bp.on_tick_end(now)
+        assert not bp.stalled  # the stall ended during the pause
+        for _ in range(20):
+            now += 0.1
+            bp.ingest_budget(0.1, 1000.0, 0.0, 10_000.0)
+            bp.on_tick_end(now)
+        assert bp.stalled_s == pytest.approx(2.0)
+
+    def test_off_time_accounted_separately_from_stall(self):
+        bp = OnOffThrottle(high_watermark=0.9, low_watermark=0.4)
+        bp.ingest_budget(1.0, 1000.0, 9500.0, 10_000.0)  # trips off
+        bp.ingest_budget(1.0, 1000.0, 8000.0, 10_000.0)  # stays off 1 s
+        bp.ingest_budget(1.0, 1000.0, 3000.0, 10_000.0)  # back on
+        assert bp.off_s == pytest.approx(2.0)
+        assert bp.stalled_s == 0.0
+
+    def test_metrics_exports_all_counters(self):
+        bp = self.make_stalled()
+        metrics = bp.metrics()
+        assert set(metrics) == {"stalled_s", "off_s", "stall_count"}
+        assert metrics["stall_count"] == 1.0
+
+
+class TestBackpressureMetrics:
+    def test_credit_based_reports_limited_time(self):
+        bp = CreditBased()
+        bp.ingest_budget(1.0, 1000.0, 900.0, 1000.0)  # credit-bound
+        bp.ingest_budget(1.0, 1000.0, 0.0, 1e9)  # capacity-bound
+        assert bp.metrics() == {"credit_limited_s": 1.0}
+
+    def test_rate_controller_reports_limited_time_and_finite_limit(self):
+        rc = RateController(batch_interval_s=4.0, initial_rate=500.0)
+        rc.ingest_budget(1.0, 1000.0, 0.0, 1e9)  # limit-bound
+        metrics = rc.metrics()
+        assert metrics["rate_limited_s"] == 1.0
+        assert metrics["rate_limit"] == 500.0
+
+    def test_uncapped_rate_limit_exported_as_minus_one(self):
+        rc = RateController(batch_interval_s=4.0)
+        assert rc.metrics()["rate_limit"] == -1.0
+
+
 class TestRateController:
     def test_initial_rate_unlimited_but_receiver_capped(self):
         rc = RateController(batch_interval_s=4.0)
