@@ -6,12 +6,20 @@ Commands mirror the framework's workflow:
 - ``search``  -- sustainable-throughput search for a deployment.
 - ``sweep``   -- a Table-I style sweep over engines and cluster sizes.
 - ``engines`` -- list registered engines and their cost models.
+- ``chaos``   -- seeded chaos soak: randomized fault schedules over
+  engines x recovery policies with invariant checks and a scorecard.
 
 Fault benchmarking rides on ``run`` and ``search`` via repeatable
 ``--fault KIND@T[:DURATION]`` options (e.g. ``--fault crash@60
 --fault partition@100:10``) plus ``--checkpoint-interval`` and
 ``--guarantee``; with faults, ``search`` switches to the
 sustainable-under-faults mode (recovery within ``--max-recovery``).
+
+Self-healing knobs (PR 4) ride on every trial-running command:
+``--standby N`` provisions hot standby nodes, ``--reschedule`` picks
+the migration policy for dead operator slots, ``--shed`` enables
+bounded-latency load shedding at the sources.  ``search --online``
+switches to the single-trial AIMD probe.
 
 Every command prints paper-style output and can export JSON via
 ``--output``.
@@ -23,7 +31,9 @@ import argparse
 import sys
 from typing import List, Optional
 
+import repro.engines.ext  # noqa: F401  (registers heron/samza in ENGINES)
 from repro.analysis.export import (
+    online_search_to_dict,
     search_to_dict,
     trial_to_dict,
     write_json,
@@ -33,9 +43,10 @@ from repro.core.generator import GeneratorConfig
 from repro.core.report import throughput_table
 from repro.core.sustainable import (
     find_sustainable_throughput,
+    find_sustainable_throughput_online,
     find_sustainable_throughput_under_faults,
 )
-from repro.engines import ENGINES
+from repro.engines import ENGINES, engine_class
 from repro.faults import (
     CheckpointSpec,
     DeliveryGuarantee,
@@ -48,6 +59,17 @@ from repro.faults import (
 )
 from repro.engines.calibration import registered_models
 from repro.obs.context import ObsSpec
+from repro.recovery.degradation import (
+    SHED_NEWEST,
+    SHED_OLDEST,
+    DegradationPolicy,
+)
+from repro.recovery.reschedule import (
+    MODE_NONE,
+    MODE_SPREAD,
+    MODE_STANDBY,
+    ReschedulePolicy,
+)
 from repro.workloads.keys import NormalKeys, SingleKey, UniformKeys, ZipfKeys
 from repro.workloads.queries import (
     WindowSpec,
@@ -131,6 +153,30 @@ def build_query(args: argparse.Namespace):
     return WindowedJoinQuery(window=window, keys=keys)
 
 
+def build_reschedule(args: argparse.Namespace):
+    mode = getattr(args, "reschedule", None)
+    standby = getattr(args, "standby", 0) or 0
+    if mode is None:
+        return None  # engine default: standby mode iff standbys exist
+    return ReschedulePolicy(
+        standby_nodes=standby,
+        mode={"none": MODE_NONE, "spread": MODE_SPREAD, "standby": MODE_STANDBY}[
+            mode
+        ],
+    )
+
+
+def build_degradation(args: argparse.Namespace):
+    shed = getattr(args, "shed", None)
+    if shed in (None, "none"):
+        return None  # engine default: inert policy (no shedding)
+    if shed == "recommended":
+        return engine_class(args.engine).recommended_degradation()
+    return DegradationPolicy(
+        shed=SHED_OLDEST if shed == "oldest" else SHED_NEWEST
+    )
+
+
 def build_spec(args: argparse.Namespace, rate: Optional[float] = None):
     return ExperimentSpec(
         engine=args.engine,
@@ -144,6 +190,9 @@ def build_spec(args: argparse.Namespace, rate: Optional[float] = None):
         faults=build_faults(args),
         checkpoint=build_checkpoint(args),
         observability=build_observability(args),
+        standby=getattr(args, "standby", 0) or 0,
+        reschedule=build_reschedule(args),
+        degradation=build_degradation(args),
     )
 
 
@@ -224,6 +273,30 @@ def add_common_arguments(parser: argparse.ArgumentParser) -> None:
             "seconds (enables the registry; default when enabled: 1.0)"
         ),
     )
+    parser.add_argument(
+        "--standby", type=int, default=0, metavar="N",
+        help=(
+            "hot standby nodes: a crash promotes a standby (paying the "
+            "state-migration cost) instead of losing capacity (default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--reschedule", choices=["none", "spread", "standby"], default=None,
+        help=(
+            "policy for a dead operator slot: none = capacity lost (legacy), "
+            "spread = migrate over survivors, standby = promote from the "
+            "pool (default: standby when --standby > 0, else none)"
+        ),
+    )
+    parser.add_argument(
+        "--shed", choices=["none", "recommended", "oldest", "newest"],
+        default=None,
+        help=(
+            "load shedding at the sources: recommended = engine-tuned "
+            "policy, oldest/newest = generic bounded-latency shedding "
+            "(default: none)"
+        ),
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -249,6 +322,26 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_search(args: argparse.Namespace) -> int:
     spec = build_spec(args, rate=args.high_rate)
+    if args.online:
+        online = find_sustainable_throughput_online(
+            spec, high_rate=args.high_rate
+        )
+        for decision in online.decisions:
+            print(
+                f"  t={decision.at_s:6.1f}s rate={decision.rate / 1e6:7.3f} "
+                f"M/s wait={decision.oldest_wait_s:5.2f}s "
+                f"{decision.action}"
+            )
+        rate = online.sustainable_rate
+        shown = f"{rate / 1e6:.3f} M/s" if rate == rate else "not found"
+        print(
+            f"sustainable throughput (online AIMD): {shown} "
+            f"({online.decision_count} control decisions, 1 trial)"
+        )
+        if args.output:
+            path = write_json(online_search_to_dict(online), args.output)
+            print(f"wrote {path}")
+        return 0
     if spec.resolved_faults() is not None:
         search = find_sustainable_throughput_under_faults(
             spec,
@@ -308,6 +401,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.recovery.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        seed=args.seed,
+        rounds=args.rounds,
+        engines=tuple(args.engines),
+        duration_s=args.duration,
+        rate=args.rate,
+        workers=args.workers,
+    )
+    progress = print if args.verbose else None
+    report = run_chaos(config, progress=progress)
+    print(report.render())
+    if args.output:
+        path = write_json(report.to_dict(), args.output)
+        print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
 def cmd_engines(args: argparse.Namespace) -> int:
     print("registered engines:")
     for name in sorted(ENGINES):
@@ -357,6 +470,13 @@ def build_parser() -> argparse.ArgumentParser:
             "for a rate to count as sustainable (default: 60)"
         ),
     )
+    search_parser.add_argument(
+        "--online", action="store_true",
+        help=(
+            "probe in a single trial with the AIMD rate controller "
+            "instead of one trial per bisection step"
+        ),
+    )
     search_parser.set_defaults(func=cmd_search)
 
     sweep_parser = sub.add_parser(
@@ -378,6 +498,41 @@ def build_parser() -> argparse.ArgumentParser:
         "engines", help="list engines and calibrated cost models"
     )
     engines_parser.set_defaults(func=cmd_engines)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help=(
+            "seeded chaos soak: randomized faults over engines x recovery "
+            "policies with invariant checks (exit 1 on any violation)"
+        ),
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="fault schedules per (engine, policy) cell (default: 3)",
+    )
+    chaos_parser.add_argument(
+        "--engines", nargs="+", choices=sorted(ENGINES),
+        default=sorted(ENGINES),
+    )
+    chaos_parser.add_argument(
+        "--duration", type=float, default=60.0,
+        help="simulated seconds per trial (default: 60)",
+    )
+    chaos_parser.add_argument(
+        "--rate", type=float, default=30_000.0,
+        help="offered load per trial in events/s (default: 30000)",
+    )
+    chaos_parser.add_argument("--workers", type=int, default=2)
+    chaos_parser.add_argument(
+        "--verbose", action="store_true",
+        help="print a status line per trial",
+    )
+    chaos_parser.add_argument(
+        "--output", type=str, default=None,
+        help="write the scorecard report as JSON to this path",
+    )
+    chaos_parser.set_defaults(func=cmd_chaos)
     return parser
 
 

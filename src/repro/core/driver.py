@@ -166,6 +166,9 @@ class BenchmarkDriver:
         registry.gauge("driver.queue_depth_total").bind(
             lambda: self.queues.total_queued_weight
         )
+        registry.gauge("driver.shed_weight").bind(
+            lambda: self.queues.total_shed_weight
+        )
         registry.gauge("driver.oldest_wait_s").bind(
             lambda: self.queues.max_oldest_wait(self.sim.now)
         )
@@ -225,6 +228,13 @@ class BenchmarkDriver:
         diagnostics.update(self.collector.perf_counters())
         diagnostics.update(self.monitor.perf_counters())
         diagnostics["driver.summary_s"] = metrology_s
+        # Driver-side weight-conservation ledger: everything generated
+        # is still queued, ingested by the SUT, or shed by the
+        # degradation policy (pushed == pulled + queued + shed).
+        diagnostics["driver.pushed_weight"] = self.queues.total_pushed_weight
+        diagnostics["driver.pulled_weight"] = self.queues.total_pulled_weight
+        diagnostics["driver.queued_weight"] = self.queues.total_queued_weight
+        diagnostics["driver.shed_weight"] = self.queues.total_shed_weight
         observability = self.obs.finalize() if self.obs is not None else None
         return TrialResult(
             engine=self.engine.name,

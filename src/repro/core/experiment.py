@@ -11,7 +11,7 @@ tests go through this single entry point.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.core.broker import BrokerSpec, BrokerStage
 from repro.core.driver import BenchmarkDriver, TrialResult
@@ -26,6 +26,8 @@ from repro.faults.metrics import (
 )
 from repro.faults.schedule import FaultSchedule
 from repro.obs.context import ObsContext, ObsSpec
+from repro.recovery.degradation import DegradationPolicy
+from repro.recovery.reschedule import ReschedulePolicy
 from repro.sim.cluster import ClusterSpec, paper_cluster
 from repro.sim.network import DataPlane, NetworkSpec
 from repro.sim.nodefail import NodeFailureSpec
@@ -75,6 +77,17 @@ class ExperimentSpec:
     """Metrics registry + lifecycle tracing configuration.  ``None``
     (the default) runs with observability fully disabled -- the hot
     path is byte-identical to a pre-observability build."""
+    standby: int = 0
+    """Hot spare worker nodes (``--standby N``).  With spares, the
+    default reschedule policy promotes them after a NodeCrash instead
+    of permanently losing the capacity (see :mod:`repro.recovery`)."""
+    reschedule: Optional[ReschedulePolicy] = None
+    """How failed capacity is replaced.  ``None`` derives a policy from
+    :attr:`standby`: standby promotion when spares exist, else the
+    legacy lose-capacity/fail-on-last-worker behaviour."""
+    degradation: Optional[DegradationPolicy] = None
+    """Load shedding + admission-ramp behaviour.  ``None`` is inert
+    (the paper's binary failure rule)."""
 
     def resolved_faults(self) -> Optional[FaultSchedule]:
         """The effective fault schedule: ``faults``, or ``node_failure``
@@ -96,7 +109,10 @@ class ExperimentSpec:
         return ConstantRate(float(self.profile))
 
     def cluster(self) -> ClusterSpec:
-        return paper_cluster(self.workers)
+        base = paper_cluster(self.workers)
+        if self.standby:
+            return replace(base, standby=self.standby)
+        return base
 
     def with_rate(self, rate: float) -> "ExperimentSpec":
         """The same experiment at a different constant offered load."""
@@ -116,8 +132,17 @@ class ExperimentSpec:
         )
 
 
-def run_experiment(spec: ExperimentSpec) -> TrialResult:
-    """Build the full stack for ``spec``, run it, return the result."""
+def run_experiment(
+    spec: ExperimentSpec,
+    driver_hook: Optional[Callable[["BenchmarkDriver"], None]] = None,
+) -> TrialResult:
+    """Build the full stack for ``spec``, run it, return the result.
+
+    ``driver_hook`` (if given) is called with the assembled
+    :class:`BenchmarkDriver` just before the trial runs -- the seam the
+    online AIMD rate controller uses to install itself on the driver
+    side without the engine ever seeing it.
+    """
     sim = Simulator()
     rng = RngRegistry(seed=spec.seed)
     cluster = spec.cluster()
@@ -178,6 +203,8 @@ def run_experiment(spec: ExperimentSpec) -> TrialResult:
         config=spec.engine_config,
         checkpoint=checkpoint,
         obs=obs,
+        reschedule=spec.reschedule,
+        degradation=spec.degradation,
     )
     if faults is not None:
         for event in faults.ordered():
@@ -193,6 +220,8 @@ def run_experiment(spec: ExperimentSpec) -> TrialResult:
         keep_outputs=spec.keep_outputs,
         obs=obs,
     )
+    if driver_hook is not None:
+        driver_hook(driver)
     result = driver.run()
     for stage in brokers:
         stage.stop()

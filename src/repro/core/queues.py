@@ -48,6 +48,7 @@ class DriverQueue:
         self._queued_weight = 0.0
         self.pushed_weight = 0.0
         self.pulled_weight = 0.0
+        self.shed_weight = 0.0
         self._frontier_event_time = float("-inf")
         self._last_pulled_event_time = float("-inf")
         self.dropped = False
@@ -145,6 +146,49 @@ class DriverQueue:
             self._queued_weight = 0.0
         return pulled
 
+    def shed(self, max_weight: float, drop_oldest: bool = True) -> float:
+        """Load shedding: discard up to ``max_weight`` queued events.
+
+        ``drop_oldest`` sheds from the head (bounding queueing delay),
+        otherwise from the tail (favouring already-waiting history).  A
+        boundary cohort is split so exactly the requested weight is
+        shed.  Shed cohorts leave the weight ledger through
+        :attr:`shed_weight` (``pushed == pulled + queued + shed``) and
+        any rider trace is marked dropped -- shed data must never look
+        like ingested data.  Returns the weight actually shed.
+        """
+        if max_weight <= 0 or not self._items:
+            return 0.0
+        shed = 0.0
+        remaining = max_weight
+        while self._items and remaining > 1e-9:
+            victim = self._items[0] if drop_oldest else self._items[-1]
+            if victim.weight <= remaining:
+                if drop_oldest:
+                    self._items.popleft()
+                    self._push_times.popleft()
+                else:
+                    self._items.pop()
+                    self._push_times.pop()
+                if victim.trace is not None:
+                    victim.trace.drop()
+                dropped = victim.weight
+            else:
+                # Partial shed: the cohort survives at reduced weight
+                # and keeps its trace -- part of the traced arrival is
+                # still queued and may yet complete its lifecycle.
+                victim.weight -= remaining
+                dropped = remaining
+            self._queued_weight -= dropped
+            self.shed_weight += dropped
+            shed += dropped
+            remaining -= dropped
+        if not self._items:
+            self._queued_weight = 0.0
+        elif self._queued_weight < 0.0:
+            self._queued_weight = 0.0
+        return shed
+
     def head_event_time(self) -> Optional[float]:
         """Event-time of the oldest queued record, or None when empty."""
         if not self._items:
@@ -204,6 +248,10 @@ class QueueSet:
     @property
     def total_pushed_weight(self) -> float:
         return sum(q.pushed_weight for q in self.queues)
+
+    @property
+    def total_shed_weight(self) -> float:
+        return sum(q.shed_weight for q in self.queues)
 
     @property
     def watermark(self) -> float:

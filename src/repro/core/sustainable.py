@@ -26,11 +26,14 @@ sustained procedure with logarithmically fewer trials.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.driver import TrialResult
 from repro.core.experiment import ExperimentSpec, run_experiment
 from repro.core.latency import EVENT_TIME
+from repro.obs.context import ObsSpec
+from repro.recovery.aimd import AimdConfig, AimdController, AimdDecision
+from repro.workloads.profiles import AdaptiveRate
 
 
 @dataclass(frozen=True)
@@ -207,6 +210,75 @@ def find_sustainable_throughput(
     # result.  NaN marks "not found" honestly.
     rate = lo if floor_sustained else float("nan")
     return SustainableSearchResult(sustainable_rate=rate, trials=trials)
+
+
+@dataclass
+class OnlineSearchResult:
+    """Outcome of the single-trial AIMD probe.
+
+    ``sustainable_rate`` follows the same contract as the offline
+    search: NaN when no rate was ever observed sustainable.
+    """
+
+    sustainable_rate: float
+    result: TrialResult
+    decisions: List[AimdDecision]
+    trajectory: List[Tuple[float, float]]
+    """Applied ``(time, rate)`` control trajectory."""
+
+    @property
+    def found(self) -> bool:
+        return self.sustainable_rate == self.sustainable_rate
+
+    @property
+    def decision_count(self) -> int:
+        return len(self.decisions)
+
+
+def find_sustainable_throughput_online(
+    spec: ExperimentSpec,
+    high_rate: float,
+    config: Optional[AimdConfig] = None,
+    run=run_experiment,
+) -> OnlineSearchResult:
+    """Probe the sustainable rate in a **single trial** (AIMD).
+
+    Where :func:`find_sustainable_throughput` runs one full trial per
+    probed rate, this starts one trial at ``high_rate`` and lets an
+    additive-increase / multiplicative-decrease controller steer the
+    offered load against live backpressure signals from the obs
+    registry (see :mod:`repro.recovery.aimd`).  The estimate converges
+    to within a probe-step of the offline bisection at a fraction of
+    the cost -- the cross-validation test pins the two against each
+    other.
+
+    Observability is required (the controller reads registry gauges);
+    a metrics-only :class:`ObsSpec` is injected when ``spec`` has none.
+    """
+    if high_rate <= 0:
+        raise ValueError(f"high_rate must be positive, got {high_rate}")
+    profile = AdaptiveRate(initial=high_rate, ceiling=high_rate)
+    obs = spec.observability or ObsSpec(metrics_interval_s=0.5)
+    trial_spec = replace(spec, profile=profile, observability=obs)
+    controllers: List[AimdController] = []
+
+    def install(driver) -> None:
+        controller = AimdController(
+            profile, driver.obs.registry, config=config
+        )
+        controller.install(driver.sim)
+        controllers.append(controller)
+
+    result = run(trial_spec, driver_hook=install)
+    assert controllers, "driver_hook never ran"
+    controller = controllers[0]
+    controller.stop()
+    return OnlineSearchResult(
+        sustainable_rate=controller.estimate,
+        result=result,
+        decisions=controller.decisions,
+        trajectory=controller.trajectory(),
+    )
 
 
 def find_sustainable_throughput_under_faults(

@@ -43,6 +43,12 @@ from repro.engines.operators.sink import Sink
 from repro.engines.operators.source import SourceSet
 from repro.engines.state import StateBackend, StatePolicy
 from repro.obs.context import ObsContext
+from repro.recovery.degradation import DegradationPolicy
+from repro.recovery.reschedule import (
+    MODE_NONE,
+    MODE_STANDBY,
+    ReschedulePolicy,
+)
 from repro.faults.checkpoint import CheckpointSpec, RecoverySemantics
 from repro.faults.guarantees import DeliveryGuarantee, GuaranteeAccounting
 from repro.faults.schedule import (
@@ -133,6 +139,8 @@ class StreamingEngine(ABC):
         config: Optional[EngineConfig] = None,
         checkpoint: Optional[CheckpointSpec] = None,
         obs: Optional["ObsContext"] = None,
+        reschedule: Optional[ReschedulePolicy] = None,
+        degradation: Optional[DegradationPolicy] = None,
     ) -> None:
         self.sim = sim
         self.obs = obs
@@ -165,6 +173,26 @@ class StreamingEngine(ABC):
         )
         self.guarantees = GuaranteeAccounting(self.guarantee)
         self.fault_log: List[Dict[str, float]] = []
+        # Recovery policies.  With no explicit policy and no standbys the
+        # defaults reproduce the legacy PR 2 behaviour exactly: capacity
+        # lost to a crash stays lost and killing the last worker is
+        # fatal.  Provisioning standbys (ClusterSpec.standby or the
+        # policy's own pool) switches the default to standby promotion.
+        if reschedule is None:
+            reschedule = ReschedulePolicy(
+                standby_nodes=cluster.standby,
+                mode=MODE_STANDBY if cluster.standby > 0 else MODE_NONE,
+            )
+        self.reschedule = reschedule
+        # Spare machines may be declared on the cluster spec or on the
+        # policy; the engine's live pool honours the larger claim.
+        self._standbys_available = max(
+            cluster.standby, reschedule.standby_nodes
+        )
+        self.standbys_promoted = 0
+        self.degradation = degradation or self.default_degradation()
+        self.shed_weight = 0.0
+        self._ramp_from_s = -1.0
         self._dead_workers = 0
         self._slow_events: List[tuple] = []
         self._partition_until = -1.0
@@ -189,6 +217,27 @@ class StreamingEngine(ABC):
     @classmethod
     def default_config(cls) -> EngineConfig:
         return EngineConfig()
+
+    @classmethod
+    def default_degradation(cls) -> DegradationPolicy:
+        """The engine's degradation behaviour when none is supplied.
+
+        The base default is inert (no shedding, step re-admission) so
+        plain trials keep the paper's binary failure rule; engines
+        override :meth:`recommended_degradation` with their flavoured
+        graceful-degradation settings, opted into by the chaos harness
+        and the ``--shed`` CLI knobs.
+        """
+        return DegradationPolicy()
+
+    @classmethod
+    def recommended_degradation(cls) -> DegradationPolicy:
+        """A sensible graceful-degradation configuration for this
+        engine -- what a production deployment of it would run with.
+        Engines tune the ramp to their scheduling granularity."""
+        return DegradationPolicy(
+            shed="oldest", max_queue_delay_s=5.0, readmission_ramp_s=2.0
+        )
 
     def _resolve_cost_model(self) -> CostModel:
         """Look up this engine's performance characterisation.
@@ -288,14 +337,32 @@ class StreamingEngine(ABC):
                 return
             capacity = self._capacity_events_per_s()
             assert self.source is not None
-            backlog = self._internal_backlog_weight()
+            if self.degradation.sheds:
+                # Bounded-latency load shedding: before pulling, drop
+                # queue backlog beyond what current capacity clears
+                # within the policy's delay bound.  The shed weight
+                # leaves through the driver queues' shed ledger -- it is
+                # never ingested, so processing-side conservation is
+                # untouched.
+                excess = self.degradation.shed_excess(
+                    self.source.backlog_weight, capacity
+                )
+                if excess > 0:
+                    self.shed_weight += self.source.shed(
+                        excess, drop_oldest=self.degradation.drop_oldest
+                    )
             budget = self._backpressure().ingest_budget(
                 dt=dt,
                 capacity_events_per_s=capacity,
-                buffered_events=backlog,
+                buffered_events=self._internal_backlog_weight(),
                 buffer_capacity_events=max(
                     capacity * self.config.buffer_seconds, 1.0
                 ),
+            )
+            # Post-recovery admission control: re-admit ingest along the
+            # policy's ramp instead of a step (1.0 outside a ramp).
+            budget *= self.degradation.admission_fraction(
+                sim.now, self._ramp_from_s
             )
             budget = self._modulate_ingest_budget(budget, dt)
             if sim.now < self._partition_until:
@@ -410,30 +477,72 @@ class StreamingEngine(ABC):
         self._apply_crash(nodes)
 
     def _apply_crash(self, nodes: int) -> None:
-        """Permanently lose ``nodes`` workers: capacity drops, the
-        engine pauses for its *derived* recovery time, and the delivery
-        guarantee decides the fate of the exposed data."""
+        """Lose ``nodes`` workers: the engine's :class:`ReschedulePolicy`
+        decides where their operator slots land (standby promotion,
+        spreading over survivors, or -- the legacy policy -- nowhere),
+        the engine pauses for the derived recovery time plus any state
+        migration, and the delivery guarantee decides the fate of the
+        exposed data.  Losing the last placement target (no survivors
+        and no standbys) is the one unrecoverable outcome."""
         if self.failed or nodes <= 0:
             return
-        if nodes >= self._active_workers:
-            # Losing every remaining worker is not something any
-            # recovery protocol survives: the trial fails.
+        active = self._active_workers
+        kill = min(nodes, active)
+        plan = self.reschedule.plan_crash(
+            kill=kill,
+            active=active,
+            standbys_left=self._standbys_available,
+            state_bytes=self.state.used_bytes,
+            node=self.cluster.node,
+        )
+        if plan.fatal:
+            # No survivors and no standbys: the trial fails -- but the
+            # fatal fault is accounted and logged FIRST so the failed
+            # TrialResult keeps its diagnostics (guarantee accounting,
+            # recovery counters) instead of losing the fault entirely.
+            exposed = self._on_node_failure(1.0)
+            lost, dup = self.guarantees.on_fault(max(0.0, exposed))
+            self.state_lost_weight += lost
+            self._dead_workers += kill
+            self._active_workers = 0
+            self._log_fault(
+                "crash",
+                pause_s=0.0,
+                detection_s=self.checkpoint.detection_timeout_s,
+                exposed_weight=max(0.0, exposed),
+                lost_weight=lost,
+                duplicated_weight=dup,
+                fatal=1.0,
+            )
             self._fail(
                 SutFailure(
                     f"{self.name}: node crash killed all "
-                    f"{self._active_workers} remaining workers",
+                    f"{active} remaining workers and the "
+                    f"{self.reschedule.mode!r} reschedule policy has no "
+                    "standby to promote",
                     at_time=self.sim.now,
                 )
             )
             return
-        lost_fraction = nodes / self._active_workers
-        self._active_workers -= nodes
-        self._dead_workers += nodes
+        lost_fraction = kill / active
+        self._active_workers -= kill
+        self._dead_workers += kill
         exposed = self._on_node_failure(lost_fraction)
         lost, dup = self.guarantees.on_fault(max(0.0, exposed))
         self.state_lost_weight += lost
-        pause = self._recovery_pause_s(lost_fraction)
+        pause = self._recovery_pause_s(lost_fraction) + plan.migration_pause_s
         self._pause_for_recovery(pause)
+        extra: Dict[str, float] = {}
+        if plan.promoted:
+            # Promotion completes when the pause (restore + migration)
+            # ends; until then the standby is warming up and contributes
+            # no capacity.
+            self._standbys_available -= plan.promoted
+            self.sim.schedule(pause, self._promote_standbys, plan.promoted)
+            extra["promoted"] = float(plan.promoted)
+        if plan.migrated_bytes > 0:
+            extra["migrated_bytes"] = plan.migrated_bytes
+            extra["migration_s"] = plan.migration_pause_s
         self._log_fault(
             "crash",
             pause_s=pause,
@@ -441,6 +550,7 @@ class StreamingEngine(ABC):
             exposed_weight=max(0.0, exposed),
             lost_weight=lost,
             duplicated_weight=dup,
+            **extra,
         )
 
     def _apply_restart(self, nodes: int) -> None:
@@ -451,10 +561,26 @@ class StreamingEngine(ABC):
         if self.failed or nodes <= 0:
             return
         if nodes >= self._active_workers:
+            # Bouncing every remaining worker leaves nothing supervising
+            # the restart: fatal under any policy.  Account and log the
+            # fault first so the failed trial keeps its diagnostics.
+            active = self._active_workers
+            exposed = self._on_node_failure(1.0)
+            lost, dup = self.guarantees.on_fault(max(0.0, exposed))
+            self.state_lost_weight += lost
+            self._log_fault(
+                "restart",
+                pause_s=0.0,
+                detection_s=self.checkpoint.detection_timeout_s,
+                exposed_weight=max(0.0, exposed),
+                lost_weight=lost,
+                duplicated_weight=dup,
+                fatal=1.0,
+            )
             self._fail(
                 SutFailure(
                     f"{self.name}: process restart bounced all "
-                    f"{self._active_workers} remaining workers",
+                    f"{active} remaining workers",
                     at_time=self.sim.now,
                 )
             )
@@ -478,14 +604,55 @@ class StreamingEngine(ABC):
 
     def _apply_slow(self, nodes: int, factor: float, duration_s: float) -> None:
         """Degrade ``nodes`` workers to ``factor`` of their capacity for
-        ``duration_s`` (straggler; no state is lost, no pause served)."""
+        ``duration_s`` (straggler; no state is lost, no pause served).
+
+        The reschedule policy may replace detected stragglers with
+        standbys: a straggler outlasting the failure detector is
+        abandoned once its state has migrated to the promoted spare, so
+        its slowdown ends at detection + migration instead of running
+        the full fault duration.  Stragglers below the detection timeout
+        are never migrated -- the fault clears before anyone notices.
+        """
         if self.failed or nodes <= 0:
             return
         nodes = min(nodes, self._active_workers)
+        if nodes <= 0:
+            return
         active = self._active_workers
-        multiplier = (active - nodes + nodes * factor) / active
-        self._slow_events.append((self.sim.now + duration_s, multiplier))
-        self._log_fault("slow", pause_s=0.0)
+        plan = self.reschedule.plan_straggler(
+            nodes=nodes,
+            duration_s=duration_s,
+            standbys_left=self._standbys_available,
+            state_bytes=self.state.used_bytes,
+            active=active,
+            node=self.cluster.node,
+        )
+        replaced = plan.promoted
+        riding = nodes - replaced
+        if riding > 0:
+            multiplier = (active - riding + riding * factor) / active
+            self._slow_events.append(
+                (self.sim.now + duration_s, multiplier)
+            )
+        extra: Dict[str, float] = {}
+        if replaced > 0:
+            # The replaced stragglers stay slow until the detector fires
+            # and the migration lands, whichever view of the fault ends
+            # first; the spare is consumed permanently.
+            self._standbys_available -= replaced
+            self.standbys_promoted += replaced
+            handoff_s = min(
+                duration_s,
+                self.reschedule.detection_timeout_s + plan.migration_pause_s,
+            )
+            multiplier = (active - replaced + replaced * factor) / active
+            self._slow_events.append(
+                (self.sim.now + handoff_s, multiplier)
+            )
+            extra["promoted"] = float(replaced)
+            extra["migrated_bytes"] = plan.migrated_bytes
+            extra["migration_s"] = plan.migration_pause_s
+        self._log_fault("slow", pause_s=0.0, **extra)
 
     def _apply_partition(self, duration_s: float) -> None:
         """Cut the network between the driver queues and the workers:
@@ -512,9 +679,26 @@ class StreamingEngine(ABC):
         ceiling = self.cluster.workers - self._dead_workers
         self._active_workers = min(self._active_workers + nodes, ceiling)
 
+    def _promote_standbys(self, nodes: int) -> None:
+        """A standby finishes warming up: it takes over a dead node's
+        slots, so the dead count drops and capacity returns (bounded by
+        the nominal worker count -- spares replace, they never add)."""
+        if self.failed:
+            return
+        promote = min(nodes, self._dead_workers)
+        if promote <= 0:
+            return
+        self._dead_workers -= promote
+        self.standbys_promoted += promote
+        ceiling = self.cluster.workers - self._dead_workers
+        self._active_workers = min(self._active_workers + promote, ceiling)
+
     def _pause_for_recovery(self, pause: float) -> None:
         self._recovery_pause_total += pause
         self._paused_until = max(self._paused_until, self.sim.now + pause)
+        # Anchor the post-recovery admission ramp at the pause end (the
+        # latest one, if pauses overlap).  Inert policies ignore it.
+        self._ramp_from_s = max(self._ramp_from_s, self._paused_until)
 
     def _recovery_pause_s(self, lost_fraction: float) -> float:
         """The processing outage for one crash/restart: the explicit
@@ -638,8 +822,14 @@ class StreamingEngine(ABC):
         - ``admitted == closed + stored + lost`` -- admitted weight is
           either released by a window close, still buffered in open
           windows, or destroyed by a fault.
+
+        Load shedding adds the upstream term ``shed``: weight the
+        degradation policy dropped at the driver queues *before*
+        ingestion.  It balances the driver-side ledger
+        (``pushed == pulled + queued + shed``) and never enters the
+        processing-side invariants above.
         """
-        return {"ingested": self.ingested_weight}
+        return {"ingested": self.ingested_weight, "shed": self.shed_weight}
 
     def diagnostics(self) -> Dict[str, float]:
         """Engine-internal counters for reports (never used as metrics)."""
@@ -654,6 +844,9 @@ class StreamingEngine(ABC):
             "duplicated_weight": self.guarantees.duplicated_weight,
             "checkpoints_completed": float(self._checkpoints_completed),
             "recovery_pause_total_s": self._recovery_pause_total,
+            "standbys_available": float(self._standbys_available),
+            "standbys_promoted": float(self.standbys_promoted),
+            "shed_weight": self.shed_weight,
         }
         for key, value in self._backpressure().metrics().items():
             diag[f"bp.{key}"] = value

@@ -62,6 +62,17 @@ class HeronEngine(StormEngine):
     def default_config(cls) -> "HeronConfig":
         return HeronConfig()
 
+    @classmethod
+    def recommended_degradation(cls):
+        # Same at-most-once contract as Storm, but the smooth credit
+        # backpressure holds a slightly deeper queue without collapse,
+        # so the delay bound and ramp sit between Storm's and Flink's.
+        from repro.recovery.degradation import DegradationPolicy
+
+        return DegradationPolicy(
+            shed="oldest", max_queue_delay_s=4.0, readmission_ramp_s=1.5
+        )
+
     def _resolve_cost_model(self) -> CostModel:
         storm = cost_model_for("storm", self.query.kind)
         return replace(

@@ -88,6 +88,18 @@ class SamzaEngine(StreamingEngine):
         # RocksDB state is disk-backed by design.
         return True
 
+    @classmethod
+    def recommended_degradation(cls):
+        # At-least-once via the changelog: history already queued will
+        # be re-read on recovery anyway, so shed from the tail (newest)
+        # to avoid double work, with a patient ramp while RocksDB
+        # compaction settles.
+        from repro.recovery.degradation import DegradationPolicy
+
+        return DegradationPolicy(
+            shed="newest", max_queue_delay_s=8.0, readmission_ramp_s=3.0
+        )
+
     def _resolve_cost_model(self) -> CostModel:
         # Assumptions: heavier per-event cost than Flink (serde through
         # the log), lighter than Storm; RocksDB makes the keyed stage

@@ -98,6 +98,18 @@ class FlinkEngine(StreamingEngine):
         # spill to disk when needed" (Experiment 3).
         return True
 
+    @classmethod
+    def recommended_degradation(cls):
+        # Pipelined engine with fine-grained flow control: a short ramp
+        # suffices (credit-based backpressure meters the catch-up burst
+        # on its own) and shedding from the head keeps the exactly-once
+        # output fresh.
+        from repro.recovery.degradation import DegradationPolicy
+
+        return DegradationPolicy(
+            shed="oldest", max_queue_delay_s=5.0, readmission_ramp_s=2.0
+        )
+
     def _backpressure(self) -> BackpressureMechanism:
         return self._backpressure_mechanism
 

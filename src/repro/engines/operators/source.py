@@ -76,6 +76,27 @@ class SourceSet:
             pulled.extend(batch)
         return pulled
 
+    def shed(self, max_weight: float, drop_oldest: bool = True) -> float:
+        """Shed up to ``max_weight`` queued events across all queues.
+
+        The shed budget is spread proportionally to each queue's
+        backlog so the per-partition latency bound degrades evenly
+        (shedding one deep queue to zero while another overflows would
+        defeat the bound).  Returns the weight actually shed.
+        """
+        if max_weight <= 0:
+            return 0.0
+        total = self._queues.total_queued_weight
+        if total <= 0:
+            return 0.0
+        shed = 0.0
+        for queue in self._queues.queues:
+            if queue.queued_weight <= 0:
+                continue
+            share = max_weight * (queue.queued_weight / total)
+            shed += queue.shed(share, drop_oldest=drop_oldest)
+        return shed
+
     @property
     def watermark(self) -> float:
         """Event-time through which every queue has been ingested."""

@@ -199,6 +199,21 @@ class SparkEngine(StreamingEngine):
         # "Spark will spill the memory store to disk once it is full."
         return True
 
+    @classmethod
+    def recommended_degradation(cls):
+        # Micro-batching coarsens every reaction to the batch interval:
+        # the admission ramp spans two batches (the PID controller needs
+        # completed batches to re-learn the rate) and the delay bound
+        # tolerates a couple of queued batches before shedding.
+        from repro.recovery.degradation import DegradationPolicy
+
+        interval = cls.default_config().batch_interval_s
+        return DegradationPolicy(
+            shed="oldest",
+            max_queue_delay_s=2.0 * interval,
+            readmission_ramp_s=2.0 * interval,
+        )
+
     def _backpressure(self) -> BackpressureMechanism:
         return self._controller
 

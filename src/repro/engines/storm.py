@@ -156,6 +156,17 @@ class StormEngine(StreamingEngine):
         # Experiment 3: "Otherwise, we encountered memory exceptions."
         return False
 
+    @classmethod
+    def recommended_degradation(cls):
+        # At-most-once without acking: dropped tuples are already part
+        # of the contract, so shed aggressively (tight delay bound) and
+        # re-admit quickly -- Storm's on/off throttle oscillates anyway.
+        from repro.recovery.degradation import DegradationPolicy
+
+        return DegradationPolicy(
+            shed="oldest", max_queue_delay_s=3.0, readmission_ramp_s=1.0
+        )
+
     def _backpressure(self) -> BackpressureMechanism:
         return self._backpressure_mechanism
 

@@ -1,0 +1,231 @@
+"""Online AIMD probe for sustainable throughput.
+
+The offline search (:func:`repro.core.sustainable.
+find_sustainable_throughput`) reproduces the paper's procedure: run a
+whole trial per probed rate, bisect.  That is O(log) *trials*.  The
+online controller finds the same knee in a **single trial**: the offered
+load starts at the probe ceiling and an additive-increase /
+multiplicative-decrease loop steers it against live driver-side health
+signals from the obs registry (PR 3) -- the age of the oldest queued
+event (``driver.oldest_wait_s``) and its trend.  This is TCP congestion
+control pointed at Definition 5: the queue between driver and SUT plays
+the bottleneck router, backpressure plays packet loss.
+
+The controller additionally keeps a **bisection bracket** as a side
+effect of the AIMD trajectory: ``floor`` is the highest rate ever held
+healthy for a full control interval, ``ceiling_rate`` the lowest rate
+that triggered a backoff.  Additive increases that would cross the
+known-bad ceiling step to the bracket midpoint instead, so late in the
+trial the controller converges like bisection -- which is what makes
+the estimate land within a probe-step of the offline search instead of
+sawtoothing around the knee forever.
+
+The controller is strictly a *driver-side* instrument: it is installed
+through ``run_experiment``'s ``driver_hook`` seam and steers the
+generators' :class:`~repro.workloads.profiles.AdaptiveRate` profile.
+The engine never sees it -- measurement isolation (Section III-C) is
+preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.workloads.profiles import AdaptiveRate
+
+OLDEST_WAIT_GAUGE = "driver.oldest_wait_s"
+QUEUE_DEPTH_GAUGE = "driver.queue_depth_total"
+
+
+@dataclass(frozen=True)
+class AimdConfig:
+    """Tuning of the online probe.
+
+    The health thresholds deliberately mirror the offline
+    :class:`~repro.core.sustainable.SustainabilityCriteria` (bounded
+    queueing delay, bounded latency trend) but are tighter: the offline
+    judgement sees a whole trial of evidence, the controller must react
+    within a control interval or two.
+    """
+
+    control_interval_s: float = 2.0
+    """How often the controller observes and acts."""
+    warmup_s: float = 5.0
+    """Leave the pipeline alone this long before the first decision."""
+    increase_fraction: float = 0.05
+    """Additive-increase step as a fraction of the current rate."""
+    decrease_factor: float = 0.7
+    """Multiplicative backoff on an unhealthy signal."""
+    max_queue_delay_s: float = 2.5
+    """Oldest-queued-event age beyond which the rate is unhealthy."""
+    max_wait_slope: float = 0.05
+    """Tolerated growth of the oldest wait (seconds per second): a
+    persistently positive slope is prolonged backpressure even while
+    the absolute wait is still small."""
+    drain_fraction: float = 0.5
+    """After a backoff, hold the rate until the oldest wait falls below
+    ``max_queue_delay_s * drain_fraction`` -- increasing into an
+    undrained backlog would blame the new rate for the old one's
+    queue."""
+    min_rate: float = 1.0
+    """Backoffs never steer below this rate (events/s)."""
+
+    def __post_init__(self) -> None:
+        if self.control_interval_s <= 0:
+            raise ValueError("control_interval_s must be positive")
+        if not 0 < self.increase_fraction < 1:
+            raise ValueError(
+                f"increase_fraction must be in (0, 1), got {self.increase_fraction}"
+            )
+        if not 0 < self.decrease_factor < 1:
+            raise ValueError(
+                f"decrease_factor must be in (0, 1), got {self.decrease_factor}"
+            )
+        if self.max_queue_delay_s <= 0:
+            raise ValueError("max_queue_delay_s must be positive")
+        if not 0 < self.drain_fraction <= 1:
+            raise ValueError(
+                f"drain_fraction must be in (0, 1], got {self.drain_fraction}"
+            )
+
+
+@dataclass
+class AimdDecision:
+    """One control step, exported with search results."""
+
+    at_s: float
+    rate: float
+    oldest_wait_s: float
+    wait_slope: float
+    healthy: bool
+    action: str
+    """``hold`` / ``increase`` / ``bisect`` / ``backoff`` / ``drain``."""
+    next_rate: float
+
+
+class AimdController:
+    """Steers an :class:`AdaptiveRate` against live registry gauges."""
+
+    def __init__(
+        self,
+        profile: AdaptiveRate,
+        registry,
+        config: Optional[AimdConfig] = None,
+    ) -> None:
+        self.profile = profile
+        self.registry = registry
+        self.config = config or AimdConfig()
+        self.decisions: List[AimdDecision] = []
+        self.floor = float("nan")
+        """Highest rate held healthy through a full control interval."""
+        self.ceiling_rate = float("inf")
+        """Lowest rate that triggered a backoff."""
+        self._prev_wait = 0.0
+        self._prev_rate: Optional[float] = None
+        self._draining = False
+        self._process = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install(self, sim) -> None:
+        """Register the control loop on the trial's simulator."""
+        if self._process is not None:
+            raise RuntimeError("controller already installed")
+        cfg = self.config
+        self._process = sim.every(
+            cfg.control_interval_s,
+            self._control_tick,
+            start=sim.now + max(cfg.warmup_s, cfg.control_interval_s),
+        )
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    # -- the control loop --------------------------------------------------
+
+    def _control_tick(self, sim) -> None:
+        cfg = self.config
+        rate = self.profile.rate
+        wait = self.registry.latest(OLDEST_WAIT_GAUGE)
+        if wait != wait:  # gauge not bound yet
+            wait = 0.0
+        slope = (wait - self._prev_wait) / cfg.control_interval_s
+        healthy = wait <= cfg.max_queue_delay_s and slope <= cfg.max_wait_slope
+        if healthy:
+            if self._draining and wait > cfg.max_queue_delay_s * cfg.drain_fraction:
+                # Backlog from the over-rate phase is still clearing.
+                action, next_rate = "drain", rate
+            else:
+                self._draining = False
+                if self._prev_rate == rate and rate < self.ceiling_rate:
+                    # Held through a full interval and judged healthy:
+                    # this rate is an observed floor.
+                    self.floor = (
+                        rate if self.floor != self.floor
+                        else max(self.floor, rate)
+                    )
+                # Clamp to the profile's hard ceiling *here* (not only
+                # inside set_rate) so holding at the probe ceiling reads
+                # as "hold" and the floor bookkeeping sees the rate that
+                # is actually applied.
+                step = rate * cfg.increase_fraction
+                candidate = min(rate + step, self.profile.ceiling)
+                if candidate >= self.ceiling_rate:
+                    # Crossing into known-bad territory: bisect the
+                    # bracket instead of blindly stepping over it.
+                    candidate = (rate + self.ceiling_rate) / 2.0
+                    action = "bisect"
+                else:
+                    action = "increase"
+                if candidate <= rate * (1.0 + 1e-9):
+                    action, next_rate = "hold", rate
+                else:
+                    next_rate = candidate
+        else:
+            # Attribute the unhealth to the *current* rate only when
+            # this interval started drained: a backlog inherited from a
+            # higher earlier rate (the initial descent from the probe
+            # ceiling) says nothing about the rate now applied, and
+            # letting it poison the bracket pins the ceiling far below
+            # the knee.
+            if self._prev_wait <= cfg.max_queue_delay_s * cfg.drain_fraction:
+                self.ceiling_rate = min(self.ceiling_rate, rate)
+            next_rate = max(rate * cfg.decrease_factor, cfg.min_rate)
+            action = "backoff"
+            self._draining = True
+        self.decisions.append(
+            AimdDecision(
+                at_s=sim.now,
+                rate=rate,
+                oldest_wait_s=wait,
+                wait_slope=slope,
+                healthy=healthy,
+                action=action,
+                next_rate=next_rate,
+            )
+        )
+        if next_rate != rate:
+            self.profile.set_rate(next_rate, at_time=sim.now)
+        self._prev_wait = wait
+        self._prev_rate = next_rate
+
+    # -- the estimate ------------------------------------------------------
+
+    @property
+    def estimate(self) -> float:
+        """The sustainable-rate estimate: the highest rate observed
+        healthy for a full interval, capped by the lowest rate observed
+        unhealthy.  NaN when no rate was ever held healthy -- mirroring
+        the offline search's no-probe-sustained contract."""
+        if self.floor != self.floor:
+            return float("nan")
+        if self.ceiling_rate == float("inf"):
+            return self.floor
+        return min(self.floor, self.ceiling_rate)
+
+    def trajectory(self) -> List[Tuple[float, float]]:
+        """The applied ``(time, rate)`` trajectory."""
+        return list(self.profile.changes)

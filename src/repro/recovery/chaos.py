@@ -1,0 +1,488 @@
+"""Chaos soak harness: seeded random fault schedules + invariant checks.
+
+One fault schedule exercises one code path; a *soak* exercises the
+product of {engines} x {recovery policies} x {randomized schedules} and
+checks the properties that must hold on **every** path:
+
+1. **conservation** -- the PR 3 weight ledgers balance on every trial,
+   failed or not: engine-side ``ingested == staged + admitted +
+   dropped`` and ``admitted == closed + stored + lost``; driver-side
+   ``pushed == pulled + queued + shed``;
+2. **guarantee accounting** -- the engine's delivery guarantee holds
+   under arbitrary fault interleavings (exactly-once loses and
+   duplicates nothing, at-least-once loses nothing, at-most-once
+   duplicates nothing);
+3. **bounded recovery** -- a surviving trial ends with a bounded queue
+   backlog (post-recovery event-time latency is bounded -- the SUT
+   caught up, it is not quietly diverging at trial end);
+4. **no hangs / no escapes** -- every trial returns a
+   :class:`~repro.core.driver.TrialResult`; failures are flagged on the
+   result, never raised out of the harness.
+
+Schedules are drawn from a seeded generator, so a chaos run is fully
+reproducible: the same seed yields byte-identical scorecards (pinned by
+a determinism test), which makes the harness usable as a CI smoke step
+(``repro chaos --seed 0 --rounds 3``).
+
+The output is a per-(engine, policy) **recovery scorecard**: survival
+counts, detection / recovery / catch-up milestones aggregated from the
+driver-side recovery metrology, shed and migrated weight, and the list
+of invariant violations (empty on a healthy build).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.driver import TrialResult
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.generator import GeneratorConfig
+import repro.engines.ext  # noqa: F401  (registers heron/samza in ENGINES)
+from repro.engines import engine_class
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    NetworkPartition,
+    NodeCrash,
+    ProcessRestart,
+    QueueDisconnect,
+    SlowNode,
+)
+from repro.recovery.reschedule import MODE_STANDBY, ReschedulePolicy
+from repro.workloads.queries import WindowSpec, WindowedAggregationQuery
+
+DEFAULT_ENGINES = ("flink", "storm", "spark", "heron", "samza")
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """One recovery-policy configuration soaked against every engine."""
+
+    name: str
+    standby: int = 0
+    shed: bool = False
+    """Use the engine's :meth:`recommended_degradation` (load shedding
+    + admission ramp) instead of the inert default."""
+
+    def reschedule_policy(self) -> Optional[ReschedulePolicy]:
+        if self.standby <= 0:
+            return None
+        return ReschedulePolicy(standby_nodes=self.standby, mode=MODE_STANDBY)
+
+
+#: The three policy corners the scorecard compares: the legacy
+#: fail-hard behaviour, pure graceful degradation, and standby
+#: promotion with shedding on top.
+DEFAULT_POLICIES: Tuple[ChaosPolicy, ...] = (
+    ChaosPolicy(name="baseline"),
+    ChaosPolicy(name="shed", shed=True),
+    ChaosPolicy(name="standby", standby=1, shed=True),
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos soak: engines x policies x seeded rounds."""
+
+    seed: int = 0
+    rounds: int = 3
+    engines: Tuple[str, ...] = DEFAULT_ENGINES
+    policies: Tuple[ChaosPolicy, ...] = DEFAULT_POLICIES
+    duration_s: float = 60.0
+    rate: float = 30_000.0
+    workers: int = 2
+    generator_instances: int = 2
+    max_faults_per_round: int = 3
+    latency_bound_s: float = 20.0
+    """Queue backlog age tolerated at the end of a *surviving* trial --
+    the bounded post-recovery latency invariant."""
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if not self.engines:
+            raise ValueError("need at least one engine")
+        if not self.policies:
+            raise ValueError("need at least one policy")
+        if self.max_faults_per_round < 1:
+            raise ValueError("max_faults_per_round must be >= 1")
+
+
+def random_fault_schedule(
+    rng: np.random.Generator, config: ChaosConfig
+) -> FaultSchedule:
+    """Draw one randomized fault schedule.
+
+    Faults land in the middle half of the trial (so warmup is clean and
+    there is room to observe recovery), with kinds weighted toward the
+    transient faults real clusters see most.  A crash may kill the last
+    worker -- that is a *policy outcome* the scorecard records, not a
+    harness error.
+    """
+    count = int(rng.integers(1, config.max_faults_per_round + 1))
+    times = np.sort(
+        rng.uniform(0.25 * config.duration_s, 0.75 * config.duration_s, count)
+    )
+    events: List[FaultEvent] = []
+    for at_s in times:
+        at_s = float(round(at_s, 3))
+        kind = rng.choice(
+            ["crash", "restart", "slow", "partition", "disconnect"],
+            p=[0.2, 0.2, 0.25, 0.15, 0.2],
+        )
+        if kind == "crash":
+            events.append(NodeCrash(at_s=at_s, nodes=1))
+        elif kind == "restart":
+            events.append(ProcessRestart(at_s=at_s, nodes=1))
+        elif kind == "slow":
+            events.append(
+                SlowNode(
+                    at_s=at_s,
+                    nodes=1,
+                    factor=float(round(rng.uniform(0.3, 0.8), 3)),
+                    duration_s=float(round(rng.uniform(4.0, 10.0), 3)),
+                )
+            )
+        elif kind == "partition":
+            events.append(
+                NetworkPartition(
+                    at_s=at_s,
+                    duration_s=float(round(rng.uniform(2.0, 6.0), 3)),
+                )
+            )
+        else:
+            events.append(
+                QueueDisconnect(
+                    at_s=at_s,
+                    queue_index=int(
+                        rng.integers(0, config.generator_instances)
+                    ),
+                    duration_s=float(round(rng.uniform(2.0, 6.0), 3)),
+                )
+            )
+    return FaultSchedule(tuple(events))
+
+
+# -- invariants -------------------------------------------------------------
+
+#: Ledger imbalance tolerated, relative to the trial's total weight
+#: (float accumulation over ~1e3 ticks).
+LEDGER_REL_TOL = 1e-6
+
+#: Engine name -> (loses nothing, duplicates nothing) under its default
+#: delivery guarantee.
+_GUARANTEE_RULES = {
+    "exactly-once": (True, True),
+    "at-least-once": (True, False),
+    "at-most-once": (False, True),
+}
+
+
+def check_invariants(
+    result: TrialResult, config: ChaosConfig, label: str
+) -> List[str]:
+    """All chaos invariants for one trial; returns violation strings."""
+    violations: List[str] = []
+    d = result.diagnostics
+    scale = max(1.0, d.get("conservation.ingested", 0.0))
+    tol = LEDGER_REL_TOL * scale
+
+    def balance(name: str, lhs: float, rhs: float) -> None:
+        if abs(lhs - rhs) > tol:
+            violations.append(
+                f"{label}: {name} ledger imbalance "
+                f"({lhs:.6f} != {rhs:.6f}, tol {tol:.2e})"
+            )
+
+    if "conservation.staged" in d:
+        balance(
+            "ingest",
+            d["conservation.ingested"],
+            d["conservation.staged"]
+            + d["conservation.admitted"]
+            + d["conservation.dropped"],
+        )
+        balance(
+            "window",
+            d["conservation.admitted"],
+            d["conservation.closed"]
+            + d["conservation.stored"]
+            + d["conservation.lost"],
+        )
+    driver_scale = max(1.0, d.get("driver.pushed_weight", 0.0))
+    if abs(
+        d.get("driver.pushed_weight", 0.0)
+        - d.get("driver.pulled_weight", 0.0)
+        - d.get("driver.queued_weight", 0.0)
+        - d.get("driver.shed_weight", 0.0)
+    ) > LEDGER_REL_TOL * driver_scale:
+        violations.append(
+            f"{label}: driver ledger imbalance "
+            "(pushed != pulled + queued + shed)"
+        )
+    guarantee = engine_class(result.engine).default_guarantee.value
+    no_loss, no_dup = _GUARANTEE_RULES[guarantee]
+    if no_loss and d.get("lost_weight", 0.0) > tol:
+        violations.append(
+            f"{label}: {guarantee} engine lost "
+            f"{d['lost_weight']:.3f} weight"
+        )
+    if no_dup and d.get("duplicated_weight", 0.0) > tol:
+        violations.append(
+            f"{label}: {guarantee} engine duplicated "
+            f"{d['duplicated_weight']:.3f} weight"
+        )
+    if not result.failed:
+        end_delay = result.throughput.queue_delay_at_end()
+        if end_delay > config.latency_bound_s:
+            violations.append(
+                f"{label}: post-recovery backlog unbounded -- oldest "
+                f"queued event is {end_delay:.1f}s old at trial end "
+                f"(> {config.latency_bound_s:g}s)"
+            )
+        if result.failure_time == result.failure_time:
+            violations.append(
+                f"{label}: surviving trial carries a failure_time"
+            )
+    elif result.failure_time != result.failure_time:
+        violations.append(f"{label}: failed trial lost its failure_time")
+    return violations
+
+
+# -- the soak ---------------------------------------------------------------
+
+
+def _round6(value: float) -> Optional[float]:
+    """JSON-safe 6-significant-digit rounding (None for NaN/inf)."""
+    if value != value or value in (float("inf"), float("-inf")):
+        return None
+    if value == 0.0:
+        return 0.0
+    magnitude = math.floor(math.log10(abs(value)))
+    return round(value, -magnitude + 5)
+
+
+@dataclass
+class Scorecard:
+    """Aggregated recovery behaviour of one (engine, policy) cell."""
+
+    engine: str
+    policy: str
+    rounds: int = 0
+    survived: int = 0
+    failed: int = 0
+    faults_injected: int = 0
+    faults_recovered: int = 0
+    faults_unrecovered: int = 0
+    detection_s_sum: float = 0.0
+    recovery_s_max: float = 0.0
+    catchup_rate_max: float = 0.0
+    shed_weight: float = 0.0
+    migrated_bytes: float = 0.0
+    standbys_promoted: float = 0.0
+    lost_weight: float = 0.0
+    duplicated_weight: float = 0.0
+    end_queue_delay_s_max: float = 0.0
+    violations: List[str] = field(default_factory=list)
+
+    def absorb(self, result: TrialResult, violations: List[str]) -> None:
+        self.rounds += 1
+        if result.failed:
+            self.failed += 1
+        else:
+            self.survived += 1
+            self.end_queue_delay_s_max = max(
+                self.end_queue_delay_s_max,
+                result.throughput.queue_delay_at_end(),
+            )
+        d = result.diagnostics
+        self.faults_injected += int(d.get("faults_injected", 0.0))
+        self.shed_weight += d.get("shed_weight", 0.0)
+        self.standbys_promoted += d.get("standbys_promoted", 0.0)
+        self.lost_weight += d.get("lost_weight", 0.0)
+        self.duplicated_weight += d.get("duplicated_weight", 0.0)
+        for entry in getattr(result, "recovery", None) or []:
+            if entry.detection_s == entry.detection_s:
+                self.detection_s_sum += entry.detection_s
+            self.migrated_bytes += getattr(entry, "migrated_bytes", 0.0)
+            if entry.recovered:
+                self.faults_recovered += 1
+                self.recovery_s_max = max(
+                    self.recovery_s_max, entry.recovery_time_s
+                )
+                if entry.catchup_throughput == entry.catchup_throughput:
+                    self.catchup_rate_max = max(
+                        self.catchup_rate_max, entry.catchup_throughput
+                    )
+            else:
+                self.faults_unrecovered += 1
+        self.violations.extend(violations)
+
+    def to_dict(self) -> Dict[str, object]:
+        detection_mean = (
+            self.detection_s_sum / self.faults_injected
+            if self.faults_injected
+            else 0.0
+        )
+        return {
+            "engine": self.engine,
+            "policy": self.policy,
+            "rounds": self.rounds,
+            "survived": self.survived,
+            "failed": self.failed,
+            "faults_injected": self.faults_injected,
+            "faults_recovered": self.faults_recovered,
+            "faults_unrecovered": self.faults_unrecovered,
+            "detection_s_mean": _round6(detection_mean),
+            "recovery_s_max": _round6(self.recovery_s_max),
+            "catchup_rate_max": _round6(self.catchup_rate_max),
+            "shed_weight": _round6(self.shed_weight),
+            "migrated_bytes": _round6(self.migrated_bytes),
+            "standbys_promoted": _round6(self.standbys_promoted),
+            "lost_weight": _round6(self.lost_weight),
+            "duplicated_weight": _round6(self.duplicated_weight),
+            "end_queue_delay_s_max": _round6(self.end_queue_delay_s_max),
+            "violations": sorted(self.violations),
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Everything one soak produced."""
+
+    config: ChaosConfig
+    schedules: List[str]
+    scorecards: Dict[Tuple[str, str], Scorecard]
+
+    @property
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for card in self.scorecards.values():
+            out.extend(card.violations)
+        return sorted(out)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.config.seed,
+            "rounds": self.config.rounds,
+            "duration_s": self.config.duration_s,
+            "rate": self.config.rate,
+            "workers": self.config.workers,
+            "schedules": list(self.schedules),
+            "scorecards": {
+                f"{engine}/{policy}": card.to_dict()
+                for (engine, policy), card in sorted(self.scorecards.items())
+            },
+            "violations": self.violations,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialisation -- byte-identical for equal seeds."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render(self) -> str:
+        """ASCII scorecard table."""
+        header = (
+            f"{'engine/policy':<18} {'ok':>5} {'fail':>4} {'faults':>6} "
+            f"{'recov':>5} {'det(s)':>7} {'rec(s)':>7} {'shed':>10} "
+            f"{'promoted':>8} {'viol':>4}"
+        )
+        lines = [header, "-" * len(header)]
+        for (engine, policy), card in sorted(self.scorecards.items()):
+            d = card.to_dict()
+            lines.append(
+                f"{engine + '/' + policy:<18} {card.survived:>5} "
+                f"{card.failed:>4} {card.faults_injected:>6} "
+                f"{card.faults_recovered:>5} "
+                f"{d['detection_s_mean'] or 0:>7.2f} "
+                f"{d['recovery_s_max'] or 0:>7.2f} "
+                f"{card.shed_weight:>10.0f} "
+                f"{card.standbys_promoted:>8.0f} "
+                f"{len(card.violations):>4}"
+            )
+        status = "PASS" if self.ok else "FAIL"
+        lines.append("-" * len(header))
+        lines.append(
+            f"{status}: {len(self.scorecards)} cells, "
+            f"{self.config.rounds} rounds, seed {self.config.seed}, "
+            f"{len(self.violations)} invariant violations"
+        )
+        if not self.ok:
+            lines.extend(f"  ! {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+def _trial_spec(
+    engine: str,
+    policy: ChaosPolicy,
+    schedule: FaultSchedule,
+    config: ChaosConfig,
+    seed: int,
+) -> ExperimentSpec:
+    degradation = (
+        engine_class(engine).recommended_degradation() if policy.shed else None
+    )
+    return ExperimentSpec(
+        engine=engine,
+        query=WindowedAggregationQuery(window=WindowSpec(8.0, 4.0)),
+        workers=config.workers,
+        profile=config.rate,
+        duration_s=config.duration_s,
+        seed=seed,
+        generator=GeneratorConfig(instances=config.generator_instances),
+        monitor_resources=False,
+        faults=schedule,
+        standby=policy.standby,
+        reschedule=policy.reschedule_policy(),
+        degradation=degradation,
+    )
+
+
+def run_chaos(
+    config: ChaosConfig = ChaosConfig(), progress=None
+) -> ChaosReport:
+    """Run the soak: for each round, draw one fault schedule and push it
+    through every (engine, policy) cell, checking invariants on every
+    trial.  ``progress`` (if given) is called with a status line per
+    trial."""
+    scorecards: Dict[Tuple[str, str], Scorecard] = {
+        (engine, policy.name): Scorecard(engine=engine, policy=policy.name)
+        for engine in config.engines
+        for policy in config.policies
+    }
+    schedules: List[str] = []
+    for round_index in range(config.rounds):
+        rng = np.random.default_rng([config.seed, round_index])
+        schedule = random_fault_schedule(rng, config)
+        schedules.append(schedule.describe())
+        for engine in config.engines:
+            for policy in config.policies:
+                label = f"{engine}/{policy.name}/round{round_index}"
+                spec = _trial_spec(
+                    engine,
+                    policy,
+                    schedule,
+                    config,
+                    seed=config.seed * 1_000 + round_index,
+                )
+                result = run_experiment(spec)
+                violations = check_invariants(result, config, label)
+                scorecards[(engine, policy.name)].absorb(result, violations)
+                if progress is not None:
+                    status = "FAILED" if result.failed else "ok"
+                    progress(
+                        f"{label}: {status}"
+                        + (f" ({len(violations)} violations)" if violations else "")
+                    )
+    return ChaosReport(
+        config=config, schedules=schedules, scorecards=scorecards
+    )

@@ -1,0 +1,220 @@
+"""Operator rescheduling after node faults: standby pools and spreading.
+
+PR 2's fault layer *injects* faults; the engine reaction it modelled is
+the one real deployment nobody runs in production: a NodeCrash removes
+capacity forever and killing the last worker aborts the trial.  Real
+Flink/Storm/Spark clusters run with spare slots: the resource manager
+reschedules the dead node's operator slots onto a **standby** node (a
+hot spare that runs no operators until promoted) or **spreads** them
+over the survivors.  Vogel et al. (arXiv:2404.06203) show the recovery
+*strategy* -- where work lands and what state has to move -- dominates
+post-fault latency, so it must be a benchmark knob, not a hardcoded
+behaviour.
+
+:class:`ReschedulePolicy` is that knob.  Given a crash it produces a
+:class:`ReschedulePlan`:
+
+- how many standbys are promoted (capacity returns once migration
+  completes);
+- whether the remaining dead slots spread over survivors (the job keeps
+  running at reduced capacity) or the policy gives up
+  (``mode="none"``: the legacy PR 2 behaviour, where losing the last
+  worker is fatal);
+- the **state-migration pause**: the dead nodes' share of operator
+  state (``state_bytes * lost_fraction``) pulled over the receiving
+  nodes' NICs at ``migration_nic_fraction`` of line rate.  This is the
+  *slot placement* cost, additional to the engine's checkpoint-derived
+  recovery pause (which models state *reconstruction*, not placement).
+
+Transient faults are planned too: a :class:`~repro.faults.schedule.
+SlowNode` that outlasts the failure detector can be masked by promoting
+a standby in place of the straggler; one that clears before the
+detector fires must **not** trigger a migration (moving state for a
+blip costs more than riding it out).  Network partitions never migrate:
+no node is at fault, so there is nothing to reschedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.cluster import NodeSpec
+
+#: Legacy behaviour: no standbys are promoted and nothing is spread --
+#: capacity is simply gone; losing every worker fails the trial.
+MODE_NONE = "none"
+#: Survivors absorb the dead node's slots after a state migration.
+MODE_SPREAD = "spread"
+#: Standbys are promoted first; leftover slots spread over survivors.
+MODE_STANDBY = "standby"
+
+RESCHEDULE_MODES = (MODE_NONE, MODE_SPREAD, MODE_STANDBY)
+
+
+@dataclass(frozen=True)
+class ReschedulePlan:
+    """The policy's decision for one crash (or detected straggler)."""
+
+    promoted: int
+    """Standby nodes promoted into the dead nodes' slots."""
+    survivors: int
+    """Active workers remaining after the crash (excluding standbys
+    still warming up through their migration)."""
+    migrated_bytes: float
+    """Operator-state bytes that must move to the new slot owners."""
+    migration_pause_s: float
+    """Extra processing outage while the migrated state is in flight."""
+    fatal: bool
+    """True when no placement exists: no survivors and no standbys."""
+
+    @property
+    def restored(self) -> int:
+        """Workers active once the migration completes."""
+        return self.survivors + self.promoted
+
+
+@dataclass(frozen=True)
+class ReschedulePolicy:
+    """How a deployment replaces failed capacity."""
+
+    standby_nodes: int = 0
+    """Hot spare nodes held out of the job until a fault promotes them.
+    Standbys are *extra* machines: they do not contribute capacity (or
+    cost model scaling) until promoted."""
+    mode: str = MODE_STANDBY
+    """What happens to dead slots beyond the standby pool: ``spread``
+    over survivors, or ``none`` (the legacy fail-on-last-worker
+    behaviour).  ``standby`` implies ``spread`` for the leftover."""
+    detection_timeout_s: float = 2.0
+    """Failure-detector delay: transient faults shorter than this are
+    never detected, so they never trigger a migration."""
+    migration_nic_fraction: float = 0.8
+    """Fraction of the receiving nodes' NIC bandwidth available to the
+    state migration (the rest keeps serving ingest)."""
+    migrate_stragglers: bool = True
+    """Replace a detected :class:`~repro.faults.schedule.SlowNode` with
+    a standby (capacity restored after the migration) instead of riding
+    out the straggler."""
+
+    def __post_init__(self) -> None:
+        if self.standby_nodes < 0:
+            raise ValueError(
+                f"standby_nodes must be >= 0, got {self.standby_nodes}"
+            )
+        if self.mode not in RESCHEDULE_MODES:
+            raise ValueError(
+                f"mode must be one of {RESCHEDULE_MODES}, got {self.mode!r}"
+            )
+        if self.detection_timeout_s < 0:
+            raise ValueError(
+                "detection_timeout_s must be >= 0, "
+                f"got {self.detection_timeout_s}"
+            )
+        if not 0 < self.migration_nic_fraction <= 1:
+            raise ValueError(
+                "migration_nic_fraction must be in (0, 1], "
+                f"got {self.migration_nic_fraction}"
+            )
+
+    # -- planning ----------------------------------------------------------
+
+    def migration_pause_s(
+        self, migrated_bytes: float, node: NodeSpec, receivers: int
+    ) -> float:
+        """Time to move ``migrated_bytes`` onto ``receivers`` nodes' NICs."""
+        if migrated_bytes <= 0 or receivers <= 0:
+            return 0.0
+        bandwidth = (
+            receivers * node.nic_bytes_per_s * self.migration_nic_fraction
+        )
+        return migrated_bytes / bandwidth
+
+    def plan_crash(
+        self,
+        *,
+        kill: int,
+        active: int,
+        standbys_left: int,
+        state_bytes: float,
+        node: NodeSpec,
+    ) -> ReschedulePlan:
+        """Place the slots of ``kill`` dead workers (out of ``active``)."""
+        if kill <= 0 or active <= 0:
+            raise ValueError(f"need kill > 0 and active > 0, got ({kill}, {active})")
+        kill = min(kill, active)
+        survivors = active - kill
+        promoted = 0
+        if self.mode == MODE_STANDBY:
+            promoted = min(kill, max(0, standbys_left))
+        if survivors + promoted <= 0:
+            # No placement target exists; the job is unrecoverable.
+            return ReschedulePlan(
+                promoted=0,
+                survivors=0,
+                migrated_bytes=0.0,
+                migration_pause_s=0.0,
+                fatal=True,
+            )
+        if self.mode == MODE_NONE:
+            # Legacy semantics: survivors keep their own slots, the dead
+            # slots are implicitly absorbed at zero modelled cost.
+            return ReschedulePlan(
+                promoted=0,
+                survivors=survivors,
+                migrated_bytes=0.0,
+                migration_pause_s=0.0,
+                fatal=survivors <= 0,
+            )
+        migrated = max(0.0, state_bytes) * (kill / active)
+        pause = self.migration_pause_s(migrated, node, survivors + promoted)
+        return ReschedulePlan(
+            promoted=promoted,
+            survivors=survivors,
+            migrated_bytes=migrated,
+            migration_pause_s=pause,
+            fatal=False,
+        )
+
+    def plan_straggler(
+        self,
+        *,
+        nodes: int,
+        duration_s: float,
+        standbys_left: int,
+        state_bytes: float,
+        active: int,
+        node: NodeSpec,
+    ) -> ReschedulePlan:
+        """Decide whether to replace ``nodes`` stragglers with standbys.
+
+        A straggler is only ever migrated away from when (1) the policy
+        opts in, (2) the degradation outlasts the failure detector --
+        below ``detection_timeout_s`` the fault clears before anyone
+        notices -- and (3) a standby is available.  The plan's
+        ``promoted`` count says how many stragglers get replaced;
+        ``migration_pause_s`` is when their capacity is clean again
+        (measured from detection, not injection).
+        """
+        no_migration = ReschedulePlan(
+            promoted=0,
+            survivors=active,
+            migrated_bytes=0.0,
+            migration_pause_s=0.0,
+            fatal=False,
+        )
+        if not self.migrate_stragglers or self.mode != MODE_STANDBY:
+            return no_migration
+        if duration_s <= self.detection_timeout_s:
+            return no_migration
+        promoted = min(nodes, max(0, standbys_left))
+        if promoted <= 0 or active <= 0:
+            return no_migration
+        migrated = max(0.0, state_bytes) * (promoted / active)
+        pause = self.migration_pause_s(migrated, node, promoted)
+        return ReschedulePlan(
+            promoted=promoted,
+            survivors=active,
+            migrated_bytes=migrated,
+            migration_pause_s=pause,
+            fatal=False,
+        )

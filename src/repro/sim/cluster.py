@@ -48,16 +48,28 @@ class ClusterSpec:
     drivers: int
     node: NodeSpec = field(default_factory=NodeSpec)
     has_dedicated_master: bool = True
+    standby: int = 0
+    """Hot spare worker nodes provisioned but idle: they run no
+    operators (and contribute no capacity, cores, or NIC ingress) until
+    a :class:`~repro.recovery.reschedule.ReschedulePolicy` promotes
+    them after a fault."""
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"need at least 1 worker, got {self.workers}")
         if self.drivers < 1:
             raise ValueError(f"need at least 1 driver, got {self.drivers}")
+        if self.standby < 0:
+            raise ValueError(f"standby must be >= 0, got {self.standby}")
 
     @property
     def total_nodes(self) -> int:
-        return self.workers + self.drivers + (1 if self.has_dedicated_master else 0)
+        return (
+            self.workers
+            + self.drivers
+            + self.standby
+            + (1 if self.has_dedicated_master else 0)
+        )
 
     @property
     def worker_cores(self) -> int:
@@ -78,6 +90,7 @@ class ClusterSpec:
         return (
             f"{self.workers}-node cluster "
             f"({self.workers} workers + {self.drivers} drivers"
+            f"{f' + {self.standby} standby' if self.standby else ''}"
             f"{' + master' if self.has_dedicated_master else ''}, "
             f"{self.node.cores} cores / {self.node.ram_gb:g} GB / "
             f"{self.node.nic_gbps:g} Gb/s per node)"

@@ -85,8 +85,9 @@ class TestExport:
 class TestCliParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        args = parser.parse_args(["engines"])
-        assert args.command == "engines"
+        for command in ("engines", "chaos"):
+            args = parser.parse_args([command])
+            assert args.command == command
         for command in ("run", "search", "sweep"):
             args = parser.parse_args([command])
             assert args.command == command
@@ -147,6 +148,62 @@ class TestCliExecution:
         )
         assert code == 0
         assert "sustainable throughput" in capsys.readouterr().out
+
+    def test_run_with_recovery_knobs(self, capsys):
+        # Standby pool + recommended shedding through the CLI: the
+        # crash of both workers survives via promotion.
+        code = self.run_cli(
+            [
+                "run",
+                "--engine", "flink",
+                "--rate", "10000",
+                "--duration", "40",
+                "--workers", "2",
+                "--generators", "1",
+                "--no-resources",
+                "--fault", "crash@20",
+                "--standby", "1",
+                "--reschedule", "standby",
+                "--shed", "recommended",
+            ]
+        )
+        assert code == 0
+        assert "fault recovery" in capsys.readouterr().out
+
+    def test_search_online(self, capsys):
+        code = self.run_cli(
+            [
+                "search",
+                "--engine", "flink",
+                "--high-rate", "20000",
+                "--duration", "40",
+                "--generators", "1",
+                "--no-resources",
+                "--online",
+            ]
+        )
+        assert code == 0
+        assert "online AIMD" in capsys.readouterr().out
+
+    def test_chaos_command_small(self, capsys, tmp_path):
+        code = self.run_cli(
+            [
+                "chaos",
+                "--seed", "2",
+                "--rounds", "1",
+                "--engines", "flink",
+                "--duration", "30",
+                "--rate", "20000",
+                "--verbose",
+                "--output", str(tmp_path / "chaos.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        payload = json.loads((tmp_path / "chaos.json").read_text())
+        assert "flink/standby" in payload["scorecards"]
+        assert payload["violations"] == []
 
     def test_run_failure_exit_code(self, capsys):
         # Grossly overloaded with a tiny queue: the trial fails and the

@@ -1,0 +1,185 @@
+"""Unit tests for the online AIMD rate controller.
+
+The controller is driven synthetically here: a stub registry feeds it
+oldest-wait readings and a stub simulator advances time, so every
+decision branch (increase / backoff / bisect / drain / hold) is
+exercised without running trials.  The end-to-end cross-validation
+against the offline bisection lives in
+``tests/integration/test_self_healing.py``.
+"""
+
+import math
+
+import pytest
+
+from repro.recovery.aimd import (
+    OLDEST_WAIT_GAUGE,
+    AimdConfig,
+    AimdController,
+)
+from repro.workloads.profiles import AdaptiveRate
+
+
+class StubRegistry:
+    def __init__(self):
+        self.wait = 0.0
+
+    def latest(self, name):
+        assert name == OLDEST_WAIT_GAUGE
+        return self.wait
+
+
+class StubSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+def make_controller(initial=1000.0, ceiling=None, **config):
+    profile = AdaptiveRate(
+        initial=initial, ceiling=ceiling if ceiling is not None else initial
+    )
+    registry = StubRegistry()
+    controller = AimdController(
+        profile, registry, config=AimdConfig(**config)
+    )
+    return controller, registry, StubSim()
+
+
+def tick(controller, registry, sim, wait):
+    registry.wait = wait
+    sim.now += controller.config.control_interval_s
+    controller._control_tick(sim)
+    return controller.decisions[-1]
+
+
+class TestConfigValidation:
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            AimdConfig(control_interval_s=0.0)
+        with pytest.raises(ValueError):
+            AimdConfig(increase_fraction=0.0)
+        with pytest.raises(ValueError):
+            AimdConfig(decrease_factor=1.0)
+        with pytest.raises(ValueError):
+            AimdConfig(max_queue_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            AimdConfig(drain_fraction=0.0)
+
+
+class TestControlLoop:
+    def test_healthy_increases_additively(self):
+        controller, registry, sim = make_controller(
+            initial=1000.0, ceiling=1e9
+        )
+        decision = tick(controller, registry, sim, wait=0.0)
+        assert decision.action == "increase"
+        assert decision.next_rate == pytest.approx(1050.0)
+
+    def test_held_healthy_rate_becomes_floor(self):
+        controller, registry, sim = make_controller(
+            initial=1000.0, ceiling=1e9
+        )
+        tick(controller, registry, sim, wait=0.0)  # 1000 -> 1050
+        assert math.isnan(controller.floor)  # 1000 was the *initial* rate
+        tick(controller, registry, sim, wait=0.0)  # 1050 held and healthy
+        assert controller.floor == pytest.approx(1050.0)
+
+    def test_backoff_sets_ceiling_when_drained(self):
+        controller, registry, sim = make_controller(initial=1000.0)
+        decision = tick(controller, registry, sim, wait=10.0)
+        assert decision.action == "backoff"
+        assert controller.ceiling_rate == pytest.approx(1000.0)
+        assert decision.next_rate == pytest.approx(700.0)
+
+    def test_inherited_backlog_does_not_poison_ceiling(self):
+        # The interval before this one already showed a large wait, so
+        # the backlog was inherited from an earlier (higher) rate; the
+        # current rate must not be recorded as a known-bad ceiling.
+        controller, registry, sim = make_controller(initial=1000.0)
+        tick(controller, registry, sim, wait=10.0)  # drained -> ceiling 1000
+        decision = tick(controller, registry, sim, wait=9.0)
+        assert decision.action == "backoff"
+        assert controller.ceiling_rate == pytest.approx(1000.0)  # unchanged
+
+    def test_bisect_instead_of_crossing_ceiling(self):
+        controller, registry, sim = make_controller(initial=1000.0)
+        tick(controller, registry, sim, wait=10.0)  # ceiling = 1000, -> 700
+        tick(controller, registry, sim, wait=0.0)   # drain cleared, 700 held
+        decision = tick(controller, registry, sim, wait=0.0)
+        # 700 * 1.05 = 735 < 1000 -> plain increase first...
+        assert decision.action == "increase"
+        for _ in range(8):
+            decision = tick(controller, registry, sim, wait=0.0)
+        # ...but the additive ladder eventually hits the bracket and
+        # bisects toward the midpoint instead of stepping past 1000.
+        assert decision.action == "bisect"
+        assert controller.profile.rate < 1000.0
+
+    def test_drain_holds_rate(self):
+        controller, registry, sim = make_controller(initial=1000.0)
+        tick(controller, registry, sim, wait=10.0)  # backoff, draining
+        decision = tick(controller, registry, sim, wait=2.0)
+        # wait is back under the bound (healthy) but above the drain
+        # threshold (2.5 * 0.5 = 1.25): hold, don't increase yet.
+        assert decision.action == "drain"
+        assert decision.next_rate == pytest.approx(controller.profile.rate)
+
+    def test_positive_slope_is_unhealthy(self):
+        controller, registry, sim = make_controller(initial=1000.0)
+        tick(controller, registry, sim, wait=0.0)
+        decision = tick(controller, registry, sim, wait=1.0)
+        # wait 1.0 < bound 2.5, but it grew 0.5 s/s > max_wait_slope.
+        assert not decision.healthy
+        assert decision.action == "backoff"
+
+    def test_backoff_respects_min_rate(self):
+        controller, registry, sim = make_controller(
+            initial=1000.0, min_rate=900.0
+        )
+        decision = tick(controller, registry, sim, wait=10.0)
+        assert decision.next_rate == pytest.approx(900.0)
+
+
+class TestEstimate:
+    def test_sustained_ceiling_becomes_the_estimate(self):
+        # The SUT sustains the probe ceiling itself: the controller
+        # holds there and must report the ceiling, not NaN.
+        controller, registry, sim = make_controller(initial=1000.0)
+        decision = tick(controller, registry, sim, wait=0.0)
+        assert decision.action == "hold"
+        tick(controller, registry, sim, wait=0.0)
+        assert controller.estimate == pytest.approx(1000.0)
+
+    def test_nan_when_never_healthy(self):
+        controller, registry, sim = make_controller(initial=1000.0)
+        for _ in range(5):
+            tick(controller, registry, sim, wait=10.0)
+        assert math.isnan(controller.estimate)
+
+    def test_floor_capped_by_ceiling(self):
+        controller, registry, sim = make_controller(
+            initial=1000.0, ceiling=1e9
+        )
+        tick(controller, registry, sim, wait=0.0)   # -> 1050
+        tick(controller, registry, sim, wait=0.0)   # floor = 1050, -> 1102.5
+        assert controller.floor == pytest.approx(1050.0)
+        controller.ceiling_rate = 1040.0
+        assert controller.estimate == pytest.approx(1040.0)
+
+    def test_install_rejects_double_install(self):
+        controller, registry, sim = make_controller()
+
+        class StubProcess:
+            def stop(self):
+                pass
+
+        class StubSimWithEvery:
+            now = 0.0
+
+            def every(self, interval, fn, start):
+                return StubProcess()
+
+        controller.install(StubSimWithEvery())
+        with pytest.raises(RuntimeError):
+            controller.install(StubSimWithEvery())
+        controller.stop()

@@ -1,0 +1,162 @@
+"""Unit tests for the operator-rescheduling policy layer."""
+
+import pytest
+
+from repro.recovery.reschedule import (
+    MODE_NONE,
+    MODE_SPREAD,
+    MODE_STANDBY,
+    ReschedulePolicy,
+)
+from repro.sim.cluster import paper_cluster
+
+NODE = paper_cluster(2).node
+
+
+class TestPolicyValidation:
+    def test_defaults(self):
+        policy = ReschedulePolicy()
+        assert policy.standby_nodes == 0
+        assert policy.mode == MODE_STANDBY
+        assert policy.detection_timeout_s == 2.0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ReschedulePolicy(standby_nodes=-1)
+        with pytest.raises(ValueError):
+            ReschedulePolicy(mode="teleport")
+        with pytest.raises(ValueError):
+            ReschedulePolicy(detection_timeout_s=-1.0)
+        with pytest.raises(ValueError):
+            ReschedulePolicy(migration_nic_fraction=0.0)
+        with pytest.raises(ValueError):
+            ReschedulePolicy(migration_nic_fraction=1.5)
+
+
+class TestPlanCrash:
+    def test_mode_none_is_legacy(self):
+        # Capacity simply vanishes: nothing promoted, nothing migrated,
+        # no modelled migration cost.
+        plan = ReschedulePolicy(mode=MODE_NONE).plan_crash(
+            kill=1, active=4, standbys_left=3, state_bytes=1e9, node=NODE
+        )
+        assert plan.promoted == 0
+        assert plan.survivors == 3
+        assert plan.migrated_bytes == 0.0
+        assert plan.migration_pause_s == 0.0
+        assert not plan.fatal
+
+    def test_mode_none_last_worker_fatal(self):
+        plan = ReschedulePolicy(mode=MODE_NONE).plan_crash(
+            kill=2, active=2, standbys_left=5, state_bytes=1e9, node=NODE
+        )
+        assert plan.fatal
+
+    def test_standby_promotion(self):
+        plan = ReschedulePolicy(
+            standby_nodes=2, mode=MODE_STANDBY
+        ).plan_crash(
+            kill=1, active=4, standbys_left=2, state_bytes=8e8, node=NODE
+        )
+        assert plan.promoted == 1
+        assert plan.survivors == 3
+        assert plan.restored == 4
+        # The dead node's share of state moves: state_bytes * kill/active.
+        assert plan.migrated_bytes == pytest.approx(2e8)
+        assert plan.migration_pause_s > 0
+
+    def test_standby_rescues_last_worker(self):
+        # The headline scenario: the last worker dies, but a standby
+        # exists, so the job survives instead of aborting.
+        plan = ReschedulePolicy(
+            standby_nodes=1, mode=MODE_STANDBY
+        ).plan_crash(
+            kill=2, active=2, standbys_left=1, state_bytes=1e9, node=NODE
+        )
+        assert not plan.fatal
+        assert plan.promoted == 1
+        assert plan.survivors == 0
+        assert plan.restored == 1
+
+    def test_fatal_when_pool_empty(self):
+        plan = ReschedulePolicy(
+            standby_nodes=1, mode=MODE_STANDBY
+        ).plan_crash(
+            kill=2, active=2, standbys_left=0, state_bytes=1e9, node=NODE
+        )
+        assert plan.fatal
+        assert plan.restored == 0
+
+    def test_spread_migrates_without_promotion(self):
+        plan = ReschedulePolicy(mode=MODE_SPREAD).plan_crash(
+            kill=1, active=4, standbys_left=3, state_bytes=8e8, node=NODE
+        )
+        assert plan.promoted == 0
+        assert plan.survivors == 3
+        assert plan.migrated_bytes == pytest.approx(2e8)
+
+    def test_migration_pause_scales_with_nic(self):
+        policy = ReschedulePolicy(mode=MODE_SPREAD, migration_nic_fraction=0.5)
+        pause = policy.migration_pause_s(1e9, NODE, receivers=2)
+        # bytes / (receivers * nic * fraction)
+        assert pause == pytest.approx(1e9 / (2 * NODE.nic_bytes_per_s * 0.5))
+        # More receivers pull the state in parallel: shorter pause.
+        assert policy.migration_pause_s(1e9, NODE, receivers=4) < pause
+        assert policy.migration_pause_s(0.0, NODE, receivers=2) == 0.0
+
+    def test_invalid_plan_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            ReschedulePolicy().plan_crash(
+                kill=0, active=2, standbys_left=0, state_bytes=0.0, node=NODE
+            )
+        with pytest.raises(ValueError):
+            ReschedulePolicy().plan_crash(
+                kill=1, active=0, standbys_left=0, state_bytes=0.0, node=NODE
+            )
+
+
+class TestPlanStraggler:
+    POLICY = ReschedulePolicy(standby_nodes=1, mode=MODE_STANDBY)
+
+    def kwargs(self, **overrides):
+        base = dict(
+            nodes=1,
+            duration_s=10.0,
+            standbys_left=1,
+            state_bytes=8e8,
+            active=2,
+            node=NODE,
+        )
+        base.update(overrides)
+        return base
+
+    def test_short_blip_never_migrates(self):
+        # Below the failure detector's timeout, nobody notices the
+        # straggler -- migrating state for a blip would cost more than
+        # riding it out.
+        plan = self.POLICY.plan_straggler(
+            **self.kwargs(duration_s=self.POLICY.detection_timeout_s)
+        )
+        assert plan.promoted == 0
+        assert plan.migrated_bytes == 0.0
+
+    def test_detected_straggler_is_replaced(self):
+        plan = self.POLICY.plan_straggler(**self.kwargs())
+        assert plan.promoted == 1
+        assert plan.migrated_bytes == pytest.approx(4e8)
+        assert plan.migration_pause_s > 0
+
+    def test_no_standby_means_ride_it_out(self):
+        plan = self.POLICY.plan_straggler(**self.kwargs(standbys_left=0))
+        assert plan.promoted == 0
+
+    def test_opt_out(self):
+        policy = ReschedulePolicy(
+            standby_nodes=1, mode=MODE_STANDBY, migrate_stragglers=False
+        )
+        assert policy.plan_straggler(**self.kwargs()).promoted == 0
+
+    def test_non_standby_modes_never_replace(self):
+        for mode in (MODE_NONE, MODE_SPREAD):
+            policy = ReschedulePolicy(standby_nodes=1, mode=mode)
+            assert policy.plan_straggler(**self.kwargs()).promoted == 0
