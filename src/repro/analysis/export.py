@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Union
 
 from repro.core.driver import TrialResult
 from repro.core.latency import EVENT_TIME, PROCESSING_TIME
@@ -21,21 +21,7 @@ from repro.core.sustainable import OnlineSearchResult, SustainableSearchResult
 
 def summary_to_dict(summary: StatSummary) -> Dict[str, Any]:
     """Flatten a :class:`StatSummary` (NaNs become None for JSON)."""
-
-    def clean(value: float) -> Optional[float]:
-        return None if value != value else float(value)
-
-    return {
-        "count": summary.count,
-        "weight": clean(summary.weight),
-        "mean": clean(summary.mean),
-        "min": clean(summary.minimum),
-        "max": clean(summary.maximum),
-        "p90": clean(summary.p90),
-        "p95": clean(summary.p95),
-        "p99": clean(summary.p99),
-        "std": clean(summary.std),
-    }
+    return summary.to_dict()
 
 
 def trial_to_dict(
@@ -65,6 +51,8 @@ def trial_to_dict(
     }
     if result.recovery is not None:
         payload["recovery"] = [m.to_dict() for m in result.recovery]
+    if result.attempts is not None:
+        payload["attempts"] = [a.to_dict() for a in result.attempts]
     if result.observability is not None:
         payload["observability"] = result.observability.to_dict()
     if include_series:
@@ -107,16 +95,9 @@ def search_to_dict(search: SustainableSearchResult) -> Dict[str, Any]:
     return {
         "sustainable_rate": None if rate != rate else float(rate),
         "trial_count": search.trial_count,
-        "trials": [
-            {
-                "rate": trial.rate,
-                "sustainable": trial.verdict.sustainable,
-                "reasons": list(trial.verdict.reasons),
-                "mean_ingest_rate": trial.result.mean_ingest_rate,
-                "event_latency": summary_to_dict(trial.result.event_latency),
-            }
-            for trial in search.trials
-        ],
+        # export_entry() serialises live and journal-replayed trials
+        # identically (resume byte-identity relies on this).
+        "trials": [trial.export_entry() for trial in search.trials],
     }
 
 

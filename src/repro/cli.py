@@ -21,8 +21,16 @@ the migration policy for dead operator slots, ``--shed`` enables
 bounded-latency load shedding at the sources.  ``search --online``
 switches to the single-trial AIMD probe.
 
+Measurement-plane hardening (PR 5): ``--clock-skew`` models per-node
+clock error on the measurement plane, ``--driver-fault`` injects
+faults into the benchmark harness itself, ``--trial-timeout`` /
+``--trial-stall`` arm the trial watchdog (with ``--retries`` and
+``--retry-backoff``), and ``--journal PATH`` / ``--resume`` checkpoint
+``search`` and ``chaos`` sweeps for byte-identical resume.
+
 Every command prints paper-style output and can export JSON via
-``--output``.
+``--output``.  Bad argument *values* (not just syntax) exit 2 with a
+one-line error instead of a traceback.
 """
 
 from __future__ import annotations
@@ -38,25 +46,36 @@ from repro.analysis.export import (
     trial_to_dict,
     write_json,
 )
-from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.experiment import (
+    ExperimentSpec,
+    run_experiment,
+    run_experiment_with_watchdog,
+)
 from repro.core.generator import GeneratorConfig
 from repro.core.report import throughput_table
 from repro.core.sustainable import (
+    SustainabilityCriteria,
     find_sustainable_throughput,
     find_sustainable_throughput_online,
     find_sustainable_throughput_under_faults,
+    search_fingerprint,
 )
 from repro.engines import ENGINES, engine_class
 from repro.faults import (
     CheckpointSpec,
     DeliveryGuarantee,
+    DriverNodeSlow,
+    DriverQueueLoss,
     FaultSchedule,
+    GeneratorCrash,
     NetworkPartition,
     NodeCrash,
     ProcessRestart,
     QueueDisconnect,
     SlowNode,
 )
+from repro.metrology import TrialJournal, WatchdogSpec
+from repro.sim.clock import ClockSkewSpec
 from repro.engines.calibration import registered_models
 from repro.obs.context import ObsSpec
 from repro.recovery.degradation import (
@@ -115,10 +134,105 @@ def parse_fault(text: str):
         ) from None
 
 
+DRIVER_FAULT_KINDS = {
+    "gencrash": lambda at, dur: GeneratorCrash(at_s=at),
+    "queueloss": lambda at, dur: DriverQueueLoss(at_s=at),
+    "driverslow": lambda at, dur: DriverNodeSlow(at_s=at, duration_s=dur or 10.0),
+}
+
+
+def parse_driver_fault(text: str):
+    """Parse one ``--driver-fault`` value: ``KIND@T[:DURATION]``."""
+    try:
+        kind, _, when = text.partition("@")
+        if not when:
+            raise ValueError("missing '@TIME'")
+        when, _, duration = when.partition(":")
+        builder = DRIVER_FAULT_KINDS.get(kind)
+        if builder is None:
+            raise ValueError(
+                f"unknown kind {kind!r} (choose from "
+                f"{', '.join(sorted(DRIVER_FAULT_KINDS))})"
+            )
+        return builder(float(when), float(duration) if duration else None)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"invalid driver fault {text!r}: {exc} "
+            "(examples: gencrash@60, queueloss@70, driverslow@30:20)"
+        ) from None
+
+
+def parse_clock_skew(text: str) -> ClockSkewSpec:
+    """Parse ``--clock-skew``: ``OFFSET_MS[:DRIFT_PPM[:RESID_MS[:INT_S]]]``."""
+    try:
+        parts = text.split(":")
+        if len(parts) > 4:
+            raise ValueError("too many fields")
+        offset_ms = float(parts[0])
+        drift_ppm = float(parts[1]) if len(parts) > 1 else 20.0
+        residual_ms = float(parts[2]) if len(parts) > 2 else 0.5
+        interval_s = float(parts[3]) if len(parts) > 3 else 30.0
+        return ClockSkewSpec(
+            offset_s=offset_ms / 1e3,
+            drift_ppm=drift_ppm,
+            ntp_residual_s=residual_ms / 1e3,
+            ntp_interval_s=interval_s,
+        )
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"invalid clock skew {text!r}: {exc} "
+            "(format: OFFSET_MS[:DRIFT_PPM[:RESIDUAL_MS[:INTERVAL_S]]], "
+            "example: 5:20:0.5:30)"
+        ) from None
+
+
 def build_faults(args: argparse.Namespace):
-    if not getattr(args, "fault", None):
+    events = list(getattr(args, "fault", None) or [])
+    events.extend(getattr(args, "driver_fault", None) or [])
+    if not events:
         return None
-    return FaultSchedule(events=tuple(args.fault))
+    return FaultSchedule(events=tuple(events))
+
+
+def build_clock_skew(args: argparse.Namespace):
+    skew = getattr(args, "clock_skew", None)
+    if skew is None:
+        if getattr(args, "uncorrected_clocks", False):
+            raise ValueError(
+                "--uncorrected-clocks requires --clock-skew "
+                "(there is no clock model to leave uncorrected)"
+            )
+        return None
+    if getattr(args, "uncorrected_clocks", False):
+        return ClockSkewSpec(
+            offset_s=skew.offset_s,
+            drift_ppm=skew.drift_ppm,
+            ntp_residual_s=skew.ntp_residual_s,
+            ntp_interval_s=skew.ntp_interval_s,
+            corrected=False,
+        )
+    return skew
+
+
+def build_watchdog(args: argparse.Namespace) -> Optional[WatchdogSpec]:
+    timeout = getattr(args, "trial_timeout", None)
+    stall = getattr(args, "trial_stall", None)
+    if timeout is None and stall is None:
+        return None
+    return WatchdogSpec(
+        timeout_s=timeout,
+        stall_s=stall,
+        max_attempts=1 + (getattr(args, "retries", None) or 0),
+        backoff_base_s=getattr(args, "retry_backoff", None) or 0.1,
+    )
+
+
+def build_runner(args: argparse.Namespace):
+    """The trial runner ``search``/``run`` use: plain, or watchdog-wrapped."""
+    watchdog = build_watchdog(args)
+    if watchdog is None:
+        return run_experiment
+    return lambda spec: run_experiment_with_watchdog(spec, watchdog)
 
 
 def build_checkpoint(args: argparse.Namespace):
@@ -193,6 +307,7 @@ def build_spec(args: argparse.Namespace, rate: Optional[float] = None):
         standby=getattr(args, "standby", 0) or 0,
         reschedule=build_reschedule(args),
         degradation=build_degradation(args),
+        clock_skew=build_clock_skew(args),
     )
 
 
@@ -297,12 +412,74 @@ def add_common_arguments(parser: argparse.ArgumentParser) -> None:
             "(default: none)"
         ),
     )
+    parser.add_argument(
+        "--clock-skew", type=parse_clock_skew, default=None,
+        metavar="OFF_MS[:PPM[:RES_MS[:INT_S]]]",
+        help=(
+            "model per-node clock error on the measurement plane: max "
+            "offset in ms, drift in ppm, NTP residual in ms, NTP sync "
+            "interval in s (example: 5:20:0.5:30); the exported "
+            "diagnostics carry the correction error bound"
+        ),
+    )
+    parser.add_argument(
+        "--uncorrected-clocks", action="store_true",
+        help=(
+            "with --clock-skew: read raw (undisciplined) clocks instead "
+            "of NTP-corrected ones -- demonstrates the skew error the "
+            "correction layer removes"
+        ),
+    )
+    parser.add_argument(
+        "--driver-fault", action="append", type=parse_driver_fault,
+        default=None, metavar="KIND@T[:DUR]",
+        help=(
+            "inject a fault into the benchmark harness itself "
+            "(repeatable): gencrash@60, queueloss@70, driverslow@30:20"
+        ),
+    )
+    parser.add_argument(
+        "--trial-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "wall-clock budget per trial; the watchdog aborts and "
+            "retries a trial that exceeds it (default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--trial-stall", type=float, default=None, metavar="SECONDS",
+        help=(
+            "simulated seconds without driver progress before the "
+            "watchdog declares the trial stalled (default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help=(
+            "extra attempts after a watchdog-aborted trial, with capped "
+            "exponential backoff (default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.1, metavar="SECONDS",
+        help="base backoff before the first retry (default: 0.1)",
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     spec = build_spec(args)
-    result = run_experiment(spec)
+    result = build_runner(args)(spec)
     print(result.describe())
+    if result.attempts is not None and len(result.attempts) > 1:
+        print(f"  watchdog attempts    : {len(result.attempts)}")
+        for record in result.attempts:
+            print(f"    attempt {record.attempt}: {record.outcome}")
+    skew_bound = result.diagnostics.get("metrology.skew_bound_s")
+    if skew_bound is not None:
+        print(
+            f"  clock-skew bound     : {skew_bound * 1e3:.3f} ms "
+            f"(max observed error "
+            f"{result.diagnostics['metrology.skew_max_error_s'] * 1e3:.3f} ms)"
+        )
     print(f"  event-time latency   : {result.event_latency.row()}")
     print(f"  processing-time lat. : {result.processing_latency.row()}")
     print(f"  mean ingest rate     : {result.mean_ingest_rate / 1e6:.3f} M/s")
@@ -322,6 +499,14 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_search(args: argparse.Namespace) -> int:
     spec = build_spec(args, rate=args.high_rate)
+    runner = build_runner(args)
+    if args.journal and (args.online or spec.resolved_faults() is not None):
+        raise ValueError(
+            "--journal is only supported for the bisection search "
+            "(not --online or --fault searches)"
+        )
+    if args.resume and not args.journal:
+        raise ValueError("--resume requires --journal PATH")
     if args.online:
         online = find_sustainable_throughput_online(
             spec, high_rate=args.high_rate
@@ -348,11 +533,35 @@ def cmd_search(args: argparse.Namespace) -> int:
             high_rate=args.high_rate,
             rel_tol=args.tolerance,
             max_recovery_time_s=args.max_recovery,
+            run=runner,
         )
     else:
+        journal = None
+        if args.journal:
+            journal = TrialJournal(
+                args.journal,
+                fingerprint=search_fingerprint(
+                    spec,
+                    high_rate=args.high_rate,
+                    low_rate=0.0,
+                    rel_tol=args.tolerance,
+                    criteria=SustainabilityCriteria(),
+                    max_trials=12,
+                ),
+                resume=args.resume,
+            )
         search = find_sustainable_throughput(
-            spec, high_rate=args.high_rate, rel_tol=args.tolerance
+            spec,
+            high_rate=args.high_rate,
+            rel_tol=args.tolerance,
+            run=runner,
+            journal=journal,
         )
+        if journal is not None:
+            print(
+                f"  journal: {journal.hits} replayed, "
+                f"{journal.misses} run live"
+            )
     for trial in search.trials:
         verdict = "sustainable" if trial.verdict.sustainable else "UNSUSTAINABLE"
         print(f"  {trial.rate / 1e6:8.3f} M/s  {verdict}")
@@ -402,8 +611,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.recovery.chaos import ChaosConfig, run_chaos
+    from repro.recovery.chaos import ChaosConfig, chaos_fingerprint, run_chaos
 
+    if args.resume and not args.journal:
+        raise ValueError("--resume requires --journal PATH")
     config = ChaosConfig(
         seed=args.seed,
         rounds=args.rounds,
@@ -411,9 +622,21 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         rate=args.rate,
         workers=args.workers,
+        driver_faults=not args.no_driver_faults,
     )
+    journal = None
+    if args.journal:
+        journal = TrialJournal(
+            args.journal,
+            fingerprint=chaos_fingerprint(config),
+            resume=args.resume,
+        )
     progress = print if args.verbose else None
-    report = run_chaos(config, progress=progress)
+    report = run_chaos(config, progress=progress, journal=journal)
+    if journal is not None:
+        print(
+            f"journal: {journal.hits} replayed, {journal.misses} run live"
+        )
     print(report.render())
     if args.output:
         path = write_json(report.to_dict(), args.output)
@@ -477,6 +700,20 @@ def build_parser() -> argparse.ArgumentParser:
             "instead of one trial per bisection step"
         ),
     )
+    search_parser.add_argument(
+        "--journal", type=str, default=None, metavar="PATH",
+        help=(
+            "checkpoint each completed probe to this JSON journal "
+            "(bisection search only)"
+        ),
+    )
+    search_parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "replay completed probes from --journal instead of "
+            "re-running them (byte-identical final report)"
+        ),
+    )
     search_parser.set_defaults(func=cmd_search)
 
     sweep_parser = sub.add_parser(
@@ -532,6 +769,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=str, default=None,
         help="write the scorecard report as JSON to this path",
     )
+    chaos_parser.add_argument(
+        "--no-driver-faults", action="store_true",
+        help=(
+            "draw only SUT-side faults (legacy PR 4 mix) instead of "
+            "also injecting generator crashes, driver queue loss and "
+            "slow driver nodes"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--journal", type=str, default=None, metavar="PATH",
+        help="checkpoint each completed trial digest to this JSON journal",
+    )
+    chaos_parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "replay completed trials from --journal instead of "
+            "re-running them (byte-identical final scorecard)"
+        ),
+    )
     chaos_parser.set_defaults(func=cmd_chaos)
     return parser
 
@@ -539,7 +795,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # Bad argument *values* (spec validation, journal fingerprint
+        # mismatch, flag combinations) are usage errors, not crashes.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

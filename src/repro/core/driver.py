@@ -37,8 +37,20 @@ from repro.core.throughput import ThroughputMonitor
 from repro.engines.base import StreamingEngine
 from repro.engines.operators.sink import Sink
 from repro.faults.metrics import RecoveryMetrics
+from repro.faults.schedule import (
+    DriverNodeSlow,
+    DriverQueueLoss,
+    FaultEvent,
+    GeneratorCrash,
+)
+from repro.metrology.skew import SkewModel
+from repro.metrology.watchdog import AttemptRecord
 from repro.obs.context import ObsContext, ObsReport
-from repro.sim.failures import SutFailure
+from repro.sim.failures import (
+    ConnectionDropped,
+    MeasurementFault,
+    SutFailure,
+)
 from repro.sim.resources import ResourceMonitor
 from repro.sim.simulator import Simulator
 from repro.workloads.profiles import RateProfile
@@ -73,6 +85,9 @@ class TrialResult:
     observability: Optional[ObsReport] = None
     """Metrics registry series and lifecycle traces (populated when the
     trial ran with an :class:`~repro.obs.context.ObsSpec`)."""
+    attempts: Optional[List[AttemptRecord]] = None
+    """Per-attempt history when the trial ran under the watchdog retry
+    runner (``None`` for unwatched trials)."""
 
     @property
     def failed(self) -> bool:
@@ -105,6 +120,7 @@ class BenchmarkDriver:
         queues: Optional[QueueSet] = None,
         keep_outputs: bool = False,
         obs: Optional[ObsContext] = None,
+        skew: Optional[SkewModel] = None,
     ) -> None:
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
@@ -118,7 +134,8 @@ class BenchmarkDriver:
         self.queues = queues or QueueSet([g.queue for g in generators])
         self.duration_s = duration_s
         self.warmup_s = duration_s * warmup_fraction
-        self.collector = LatencyCollector(keep_outputs=keep_outputs)
+        self.skew = skew
+        self.collector = LatencyCollector(keep_outputs=keep_outputs, skew=skew)
         self.obs = obs
         # With tracing on, the sink callback routes through a thin shim
         # that finalises traces; without obs the collector is attached
@@ -134,6 +151,11 @@ class BenchmarkDriver:
             self._bind_driver_gauges(obs.registry)
         self._watchdog = sim.every(1.0, self._check_engine)
         self._failure: Optional[SutFailure] = None
+        # Driver-side fault log: mirrors the engine's fault_log shape so
+        # recovery metrology and the obs timeline consume both alike.
+        self.fault_log: List[Dict[str, float]] = []
+        self._rebalances = 0
+        self._offered_shortfall_frac = 0.0
 
     def _collect_traced(self, outputs) -> None:
         """Sink callback when tracing: complete any riding traces, then
@@ -169,6 +191,9 @@ class BenchmarkDriver:
         registry.gauge("driver.shed_weight").bind(
             lambda: self.queues.total_shed_weight
         )
+        registry.gauge("driver.lost_weight").bind(
+            lambda: self.queues.total_lost_weight
+        )
         registry.gauge("driver.oldest_wait_s").bind(
             lambda: self.queues.max_oldest_wait(self.sim.now)
         )
@@ -194,6 +219,118 @@ class BenchmarkDriver:
             self._failure = self.engine.failure
             sim.stop()
 
+    # -- driver-side fault injection --------------------------------------
+
+    def inject_fault(self, event: FaultEvent) -> None:
+        """Apply one *driver-side* fault (``event.driver_side`` is True).
+
+        These injure the measurement plane -- generators and driver
+        queues -- never the SUT; the engine keeps running against
+        whatever the wounded instrument still offers it.
+        """
+        if self._failure is not None:
+            return
+        if isinstance(event, GeneratorCrash):
+            self._crash_generator(event.instance)
+        elif isinstance(event, DriverQueueLoss):
+            self._lose_queue(event.queue_index)
+        elif isinstance(event, DriverNodeSlow):
+            self._slow_generator(event.instance, event.factor, event.duration_s)
+        else:
+            raise TypeError(
+                f"not a driver-side fault event: {event!r}"
+            )
+
+    def _log_driver_fault(self, kind: str, **fields: float) -> None:
+        entry: Dict[str, float] = {"kind": kind, "at_s": self.sim.now}
+        entry.update(fields)
+        self.fault_log.append(entry)
+        if self.obs is not None:
+            self.obs.add_event(f"fault.{kind}", self.sim.now, **fields)
+
+    def _crash_generator(self, instance: int) -> None:
+        index = instance % len(self.generators)
+        generator = self.generators[index]
+        if generator.crashed:
+            return
+        generator.crash()
+        self._log_driver_fault("gencrash", instance=float(index))
+        # The fleet supervisor notices the dead instance only after the
+        # detection window, then rebalances its share over survivors.
+        self.sim.schedule(
+            generator.config.rebalance_detection_s, self._rebalance_generators
+        )
+
+    def _rebalance_generators(self) -> None:
+        survivors = [g for g in self.generators if not g.crashed]
+        for generator in self.generators:
+            if generator.crashed:
+                # The dead queue's frontier is frozen; retiring it lets
+                # the fleet watermark advance once it drains.
+                generator.queue.retire()
+        if not survivors:
+            # Nothing left to carry the load; the watchdog's progress
+            # check is the backstop for a fully dead fleet.
+            self._log_driver_fault("rebalance", survivors=0.0)
+            return
+        target_share = 1.0 / len(survivors)
+        achieved = 0.0
+        for generator in survivors:
+            generator.set_share(target_share)
+            achieved += generator.share
+        # Over-provisioning check: with headroom factor f, up to
+        # (1 - 1/f) of the fleet may die before survivors can no longer
+        # re-attain the offered rate.  The shortfall is first-class in
+        # diagnostics -- a silently lowered offered rate is exactly the
+        # measurement lie this fault exists to expose.
+        shortfall = max(0.0, 1.0 - achieved)
+        self._rebalances += 1
+        self._offered_shortfall_frac = max(
+            self._offered_shortfall_frac, shortfall
+        )
+        self._log_driver_fault(
+            "rebalance",
+            survivors=float(len(survivors)),
+            share=target_share,
+            shortfall_frac=shortfall,
+        )
+
+    def _lose_queue(self, queue_index: int) -> None:
+        queue = self.queues.queues[queue_index % len(self.queues)]
+        lost = queue.lose_queued()
+        self._log_driver_fault("queueloss", lost_weight=lost)
+
+    def _slow_generator(
+        self, instance: int, factor: float, duration_s: float
+    ) -> None:
+        index = instance % len(self.generators)
+        self.generators[index].slow(self.sim.now + duration_s, factor)
+        self._log_driver_fault(
+            "driverslow",
+            instance=float(index),
+            factor=factor,
+            duration_s=duration_s,
+        )
+
+    def _record_fatal(self, failure: SutFailure) -> None:
+        """Log a trial-ending driver-observed failure into the fault
+        log / obs timeline, mirroring how engines log fatal faults
+        before aborting (PR 4): an aborted trial must keep its
+        telemetry, including the event that killed it."""
+        if isinstance(failure, ConnectionDropped):
+            kind = "overflow"
+        elif isinstance(failure, MeasurementFault):
+            kind = "watchdog"
+        else:
+            kind = "driver-abort"
+        at_s = failure.at_time
+        if at_s != at_s:
+            at_s = self.sim.now
+        entry: Dict[str, float] = {"kind": kind, "at_s": at_s, "fatal": 1.0}
+        self.fault_log.append(entry)
+        if self.obs is not None:
+            self.obs.add_event(f"fault.{kind}", at_s, fatal=1.0)
+
     def run(self) -> TrialResult:
         """Execute the trial and assemble the result."""
         for generator in self.generators:
@@ -202,9 +339,11 @@ class BenchmarkDriver:
         try:
             self.sim.run_until(self.duration_s)
         except SutFailure as failure:
-            # Raised by a queue push (connection drop): the driver halts
-            # the experiment.
+            # Raised by a queue push (connection drop) or a watchdog
+            # trip: the driver halts the experiment, keeping the fatal
+            # event in the fault log so partial diagnostics survive.
             self._failure = failure
+            self._record_fatal(failure)
         finally:
             self.engine.stop()
             for generator in self.generators:
@@ -229,12 +368,20 @@ class BenchmarkDriver:
         diagnostics.update(self.monitor.perf_counters())
         diagnostics["driver.summary_s"] = metrology_s
         # Driver-side weight-conservation ledger: everything generated
-        # is still queued, ingested by the SUT, or shed by the
-        # degradation policy (pushed == pulled + queued + shed).
+        # is still queued, ingested by the SUT, shed by the degradation
+        # policy, or lost to a driver fault
+        # (pushed == pulled + queued + shed + lost).
         diagnostics["driver.pushed_weight"] = self.queues.total_pushed_weight
         diagnostics["driver.pulled_weight"] = self.queues.total_pulled_weight
         diagnostics["driver.queued_weight"] = self.queues.total_queued_weight
         diagnostics["driver.shed_weight"] = self.queues.total_shed_weight
+        diagnostics["driver.lost_weight"] = self.queues.total_lost_weight
+        diagnostics["driver.faults_injected"] = float(len(self.fault_log))
+        if self._rebalances:
+            diagnostics["driver.rebalances"] = float(self._rebalances)
+            diagnostics["driver.offered_shortfall_frac"] = (
+                self._offered_shortfall_frac
+            )
         observability = self.obs.finalize() if self.obs is not None else None
         return TrialResult(
             engine=self.engine.name,

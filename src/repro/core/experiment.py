@@ -10,6 +10,7 @@ tests go through this single entry point.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Union
 
@@ -25,9 +26,16 @@ from repro.faults.metrics import (
     recovery_timeline_events,
 )
 from repro.faults.schedule import FaultSchedule
+from repro.metrology.skew import SkewModel
+from repro.metrology.watchdog import (
+    AttemptRecord,
+    TrialWatchdog,
+    WatchdogSpec,
+)
 from repro.obs.context import ObsContext, ObsSpec
 from repro.recovery.degradation import DegradationPolicy
 from repro.recovery.reschedule import ReschedulePolicy
+from repro.sim.clock import ClockSkewSpec
 from repro.sim.cluster import ClusterSpec, paper_cluster
 from repro.sim.network import DataPlane, NetworkSpec
 from repro.sim.nodefail import NodeFailureSpec
@@ -88,6 +96,12 @@ class ExperimentSpec:
     degradation: Optional[DegradationPolicy] = None
     """Load shedding + admission-ramp behaviour.  ``None`` is inert
     (the paper's binary failure rule)."""
+    clock_skew: Optional[ClockSkewSpec] = None
+    """Per-node clock errors applied to the *measurement plane* (event
+    timestamps and sink reads pass through skewed clocks; see
+    :mod:`repro.metrology.skew`).  ``None`` keeps the paper's implicit
+    perfect-clock assumption.  SUT dynamics are identical either way --
+    only the reported latencies (and the exported error bound) change."""
 
     def resolved_faults(self) -> Optional[FaultSchedule]:
         """The effective fault schedule: ``faults``, or ``node_failure``
@@ -208,7 +222,17 @@ def run_experiment(
     )
     if faults is not None:
         for event in faults.ordered():
-            sim.schedule_at(event.at_s, engine.inject_fault, event)
+            if not event.driver_side:
+                sim.schedule_at(event.at_s, engine.inject_fault, event)
+    skew = (
+        SkewModel.build(
+            spec.clock_skew,
+            rng=rng.stream("clocks"),
+            instances=spec.generator.instances,
+        )
+        if spec.clock_skew is not None
+        else None
+    )
     driver = BenchmarkDriver(
         sim=sim,
         engine=engine,
@@ -219,7 +243,14 @@ def run_experiment(
         queues=sut_queues,
         keep_outputs=spec.keep_outputs,
         obs=obs,
+        skew=skew,
     )
+    if faults is not None:
+        # Driver-side faults route to the driver, not the engine: the
+        # SUT never learns its instrument is being injured.
+        for event in faults.ordered():
+            if event.driver_side:
+                sim.schedule_at(event.at_s, driver.inject_fault, event)
     if driver_hook is not None:
         driver_hook(driver)
     result = driver.run()
@@ -228,7 +259,8 @@ def run_experiment(
     if resources is not None:
         resources.stop()
     if faults is not None:
-        result.recovery = compute_recovery_metrics(result, engine.fault_log)
+        fault_log = list(engine.fault_log) + list(driver.fault_log)
+        result.recovery = compute_recovery_metrics(result, fault_log)
         if result.observability is not None and result.recovery:
             # Recovery metrology is computed driver-side after the run;
             # fold its milestones back into the observability timeline
@@ -236,4 +268,72 @@ def run_experiment(
             for event in recovery_timeline_events(result.recovery):
                 result.observability.trace_log.add_event(**event)
             result.observability.trace_log.annotate()
+    if skew is not None and result.observability is not None:
+        # NTP sync epochs as timeline annotations: a latency step that
+        # coincides with a sync is a clock artifact, not a SUT event.
+        for at_s in skew.sync_epochs(spec.duration_s):
+            result.observability.trace_log.add_event("clock.sync", at_s)
+        result.observability.trace_log.annotate()
+    return result
+
+
+def run_experiment_with_watchdog(
+    spec: ExperimentSpec,
+    watchdog: WatchdogSpec,
+    run: Callable[..., TrialResult] = run_experiment,
+    driver_hook: Optional[Callable[["BenchmarkDriver"], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> TrialResult:
+    """Run one trial under the trial watchdog with retry/backoff.
+
+    Each attempt installs a fresh :class:`TrialWatchdog` on the driver
+    (via the same seam as ``driver_hook``, which still runs if given).
+    An attempt aborted by the watchdog is retried up to
+    ``watchdog.max_attempts`` total attempts with capped exponential
+    backoff between them, bumping the seed per attempt when
+    ``watchdog.reseed`` (a deterministic stall replays bit-for-bit
+    otherwise).  Per-attempt records are kept on the returned result
+    (``result.attempts``) and summarised in its diagnostics -- a trial
+    that needed three tries is a different measurement than one that
+    passed first time, and the report must say so.
+    """
+    attempts: list = []
+    result: Optional[TrialResult] = None
+    for attempt in range(watchdog.max_attempts):
+        attempt_spec = (
+            spec.with_seed(spec.seed + attempt)
+            if watchdog.reseed and attempt
+            else spec
+        )
+        dog = TrialWatchdog(watchdog)
+
+        def hook(driver, dog=dog):
+            dog.install(driver)
+            if driver_hook is not None:
+                driver_hook(driver)
+
+        wall_start = time.monotonic()
+        result = run(attempt_spec, driver_hook=hook)
+        record = AttemptRecord(
+            attempt=attempt,
+            seed=attempt_spec.seed,
+            wall_s=time.monotonic() - wall_start,
+            outcome=dog.outcome(result),
+            failure=result.failure,
+        )
+        attempts.append(record)
+        if dog.tripped is None:
+            break
+        if attempt + 1 < watchdog.max_attempts:
+            backoff = watchdog.backoff_s(attempt)
+            record.backoff_s = backoff
+            if backoff > 0:
+                sleep(backoff)
+    assert result is not None
+    result.attempts = attempts
+    result.diagnostics["watchdog.attempts"] = float(len(attempts))
+    result.diagnostics["watchdog.retries"] = float(len(attempts) - 1)
+    result.diagnostics["watchdog.tripped"] = (
+        1.0 if attempts[-1].outcome in ("timeout", "stalled") else 0.0
+    )
     return result

@@ -59,16 +59,48 @@ class GeneratorConfig:
     disorder: Optional[DisorderSpec] = None
     """Emit a fraction of events with lagged event times (out-of-order
     streams -- the paper's future-work extension)."""
+    overprovision_factor: float = 2.0
+    """How much faster than its fair share each instance can generate.
+    The paper provisions generators "faster than the fastest SUT"; this
+    makes that headroom explicit so the fleet can redistribute a dead
+    instance's share over survivors -- and so the harness can *check*
+    when redistribution exceeds the provisioned capacity."""
+    rebalance_detection_s: float = 2.0
+    """Seconds before the fleet supervisor notices a dead generator and
+    rebalances its share over the survivors."""
 
     def __post_init__(self) -> None:
         if self.instances < 1:
             raise ValueError(f"instances must be >= 1, got {self.instances}")
         if self.tick_interval_s <= 0:
-            raise ValueError("tick_interval_s must be positive")
+            raise ValueError(
+                f"tick_interval_s must be positive, got {self.tick_interval_s}"
+            )
         if self.mode not in (DENSE, SAMPLED):
             raise ValueError(f"mode must be 'dense' or 'sampled', got {self.mode!r}")
         if self.keys_per_cohort < 1:
             raise ValueError("keys_per_cohort must be >= 1")
+        if self.queue_capacity_seconds <= 0:
+            raise ValueError(
+                f"queue_capacity_seconds must be positive, "
+                f"got {self.queue_capacity_seconds}"
+            )
+        if self.overprovision_factor < 1.0:
+            raise ValueError(
+                f"overprovision_factor must be >= 1, "
+                f"got {self.overprovision_factor}"
+            )
+        if self.rebalance_detection_s <= 0:
+            raise ValueError(
+                f"rebalance_detection_s must be positive, "
+                f"got {self.rebalance_detection_s}"
+            )
+
+    @property
+    def max_share(self) -> float:
+        """Largest rate share one instance can serve within its
+        provisioned capacity."""
+        return min(1.0, self.overprovision_factor / self.instances)
 
 
 class DataGenerator:
@@ -105,10 +137,15 @@ class DataGenerator:
             query.purchases_share if self._is_join else 1.0
         )
         self._process: Optional[PeriodicProcess] = None
+        self.crashed = False
+        self._slow_until = float("-inf")
+        self._slow_factor = 1.0
 
     def start(self) -> None:
         if self._process is not None:
             raise RuntimeError("generator already started")
+        if self.crashed:
+            return
         self._process = self.sim.every(
             self.config.tick_interval_s, self._tick, start=self.sim.now
         )
@@ -118,10 +155,38 @@ class DataGenerator:
             self._process.stop()
             self._process = None
 
+    # -- driver-side fault surface ----------------------------------------
+
+    def crash(self) -> None:
+        """Kill this instance permanently (GeneratorCrash)."""
+        self.crashed = True
+        self.stop()
+
+    def set_share(self, share: float) -> None:
+        """Rebalance: serve ``share`` of the offered profile from now on.
+
+        Capped by the instance's provisioned capacity
+        (:attr:`GeneratorConfig.max_share`) -- a generator cannot emit
+        faster than it was provisioned, no matter what the fleet asks.
+        """
+        if share <= 0:
+            raise ValueError(f"share must be positive, got {share}")
+        self.share = min(share, self.config.max_share)
+
+    def slow(self, until: float, factor: float) -> None:
+        """Degrade this instance to ``factor`` of its rate until
+        ``until`` (DriverNodeSlow)."""
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        self._slow_until = until
+        self._slow_factor = factor
+
     # -- generation -------------------------------------------------------
 
     def _tick(self, sim: Simulator) -> None:
         rate = self.profile.rate_at(sim.now) * self.share
+        if sim.now < self._slow_until:
+            rate *= self._slow_factor
         weight = rate * self.config.tick_interval_s
         if weight <= 0:
             return

@@ -28,12 +28,15 @@ warmup cut be a binary search instead of a full boolean mask.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.metrics import StatSummary, TimeSeries, weighted_summary
 from repro.core.records import OutputRecord
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.metrology.skew import SkewModel
 
 EVENT_TIME = "event_time"
 PROCESSING_TIME = "processing_time"
@@ -63,10 +66,17 @@ class LatencyCollector:
         self,
         keep_outputs: bool = False,
         chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        skew: Optional["SkewModel"] = None,
     ) -> None:
         if chunk_rows < 1:
             raise ValueError("chunk_rows must be >= 1")
         self._chunk_rows = int(chunk_rows)
+        # Optional measurement-plane clock model: latency samples pass
+        # through skewed clocks (see repro.metrology.skew).  The emit
+        # column keeps TRUE time -- binning/warmup cuts stay exact; only
+        # the latency *values* carry the clock error, which is what a
+        # real skewed instrument reports.
+        self.skew = skew
         # Staging lists, one per column: (emit, event_lat, proc_lat, weight).
         self._stage_emit: List[float] = []
         self._stage_event: List[float] = []
@@ -93,12 +103,30 @@ class LatencyCollector:
         append_event = self._stage_event.append
         append_proc = self._stage_proc.append
         append_weight = self._stage_weight.append
-        for out in outputs:
-            emit = out.emit_time
-            append_emit(emit)
-            append_event(emit - out.event_time)
-            append_proc(emit - out.processing_time)
-            append_weight(out.weight)
+        skew = self.skew
+        if skew is None:
+            for out in outputs:
+                emit = out.emit_time
+                append_emit(emit)
+                append_event(emit - out.event_time)
+                append_proc(emit - out.processing_time)
+                append_weight(out.weight)
+        else:
+            # Skewed measurement: the anchor was stamped by a generator
+            # clock, the read happens on the sink clock.  The error of
+            # each sample is exactly (sink error - anchor error), which
+            # the model tracks against its exported bound.
+            for out in outputs:
+                emit = out.emit_time
+                sink_err = skew.emit_error(emit)
+                anchor_err = skew.anchor_error(out.event_time)
+                skew.observe(sink_err - anchor_err)
+                append_emit(emit)
+                append_event(emit + sink_err - out.event_time - anchor_err)
+                # The processing-time anchor is stamped inside the SUT
+                # (true time); only the sink read is skewed.
+                append_proc(emit + sink_err - out.processing_time)
+                append_weight(out.weight)
         if outputs:
             self._count += len(outputs)
             self._dirty = True
@@ -175,7 +203,7 @@ class LatencyCollector:
         """Driver-side metrology counters (merged into
         :attr:`TrialResult.diagnostics` by the driver)."""
         collect_s = self.collect_time_s
-        return {
+        counters = {
             "collector.samples": float(self._count),
             "collector.collect_calls": float(self.collect_calls),
             "collector.collect_s": collect_s,
@@ -185,6 +213,9 @@ class LatencyCollector:
             "collector.memory_bytes": float(self.memory_bytes),
             "collector.consolidations": float(self.consolidations),
         }
+        if self.skew is not None:
+            counters.update(self.skew.diagnostics())
+        return counters
 
     # -- queries ---------------------------------------------------------
 

@@ -53,6 +53,26 @@ class StatSummary:
     def quantiles(self) -> Tuple[float, float, float]:
         return (self.p90, self.p95, self.p99)
 
+    def to_dict(self) -> dict:
+        """JSON-safe flat dict (NaNs become None) -- the shape the
+        exporters and the resume journal share, so a journaled summary
+        replays byte-identically into the final report."""
+
+        def clean(value: float):
+            return None if value != value else float(value)
+
+        return {
+            "count": self.count,
+            "weight": clean(self.weight),
+            "mean": clean(self.mean),
+            "min": clean(self.minimum),
+            "max": clean(self.maximum),
+            "p90": clean(self.p90),
+            "p95": clean(self.p95),
+            "p99": clean(self.p99),
+            "std": clean(self.std),
+        }
+
     def row(self) -> str:
         """Render as a paper-style table fragment:
         ``avg min max (q90, q95, q99)``."""

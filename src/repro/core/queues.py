@@ -49,9 +49,14 @@ class DriverQueue:
         self.pushed_weight = 0.0
         self.pulled_weight = 0.0
         self.shed_weight = 0.0
+        self.lost_weight = 0.0
         self._frontier_event_time = float("-inf")
         self._last_pulled_event_time = float("-inf")
         self.dropped = False
+        self.retired = False
+        """Set when the queue's generator is dead and the backlog has
+        been accounted for: a retired+empty queue no longer holds the
+        fleet watermark back (its frontier will never advance again)."""
 
     @property
     def queued_weight(self) -> float:
@@ -189,6 +194,33 @@ class DriverQueue:
             self._queued_weight = 0.0
         return shed
 
+    def lose_queued(self) -> float:
+        """Driver-side data loss: the node holding this queue lost its
+        in-memory backlog (:class:`~repro.faults.schedule.DriverQueueLoss`).
+
+        Everything queued leaves the ledger through :attr:`lost_weight`
+        (``pushed == pulled + queued + shed + lost``); riding traces are
+        marked dropped -- lost data must never look ingested.  The
+        already-pulled prefix is untouched, and the SUT's watermark
+        advances past the hole exactly as a real at-most-once driver
+        outage would let it.  Returns the weight lost.
+        """
+        if not self._items:
+            return 0.0
+        for record in self._items:
+            if record.trace is not None:
+                record.trace.drop()
+        self._items.clear()
+        self._push_times.clear()
+        lost = self._queued_weight
+        self.lost_weight += lost
+        self._queued_weight = 0.0
+        return lost
+
+    def retire(self) -> None:
+        """Mark the feeding generator as permanently gone."""
+        self.retired = True
+
     def head_event_time(self) -> Optional[float]:
         """Event-time of the oldest queued record, or None when empty."""
         if not self._items:
@@ -254,9 +286,27 @@ class QueueSet:
         return sum(q.shed_weight for q in self.queues)
 
     @property
+    def total_lost_weight(self) -> float:
+        return sum(q.lost_weight for q in self.queues)
+
+    @property
     def watermark(self) -> float:
-        """SUT ingestion watermark: the minimum over all queues."""
-        return min(q.watermark for q in self.queues)
+        """SUT ingestion watermark: the minimum over all queues.
+
+        A retired queue that has been drained is skipped: its frontier
+        is frozen forever (the generator is dead), and letting it pin
+        the fleet watermark would wedge window closing for the whole
+        trial.  If every queue is retired-and-empty the plain minimum
+        is used (nothing is flowing anyway).
+        """
+        live = [
+            q
+            for q in self.queues
+            if not (q.retired and q.queued_weight == 0.0)
+        ]
+        if not live:
+            return min(q.watermark for q in self.queues)
+        return min(q.watermark for q in live)
 
     @property
     def any_dropped(self) -> bool:

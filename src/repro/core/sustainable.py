@@ -31,6 +31,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.core.driver import TrialResult
 from repro.core.experiment import ExperimentSpec, run_experiment
 from repro.core.latency import EVENT_TIME
+from repro.metrology.journal import TrialJournal
 from repro.obs.context import ObsSpec
 from repro.recovery.aimd import AimdConfig, AimdController, AimdDecision
 from repro.workloads.profiles import AdaptiveRate
@@ -128,8 +129,28 @@ def assess(
 @dataclass
 class SearchTrial:
     rate: float
-    result: TrialResult
+    result: Optional[TrialResult]
+    """``None`` when the trial was replayed from a resume journal (the
+    exported outcome lives in :attr:`cached` instead)."""
     verdict: SustainabilityVerdict
+    cached: Optional[dict] = None
+    """The journaled export entry this trial replayed, if any."""
+
+    def export_entry(self) -> dict:
+        """The per-trial dict the search report serialises.  Journaled
+        trials return their stored entry verbatim; live trials build it
+        from the result.  JSON round-trips floats exactly, so the two
+        paths are byte-identical for the same trial."""
+        if self.cached is not None:
+            return self.cached
+        assert self.result is not None
+        return {
+            "rate": self.rate,
+            "sustainable": self.verdict.sustainable,
+            "reasons": list(self.verdict.reasons),
+            "mean_ingest_rate": self.result.mean_ingest_rate,
+            "event_latency": self.result.event_latency.to_dict(),
+        }
 
 
 @dataclass
@@ -161,6 +182,23 @@ class SustainableSearchResult:
         return max(good, key=lambda t: t.rate)
 
 
+def search_fingerprint(
+    spec: ExperimentSpec,
+    high_rate: float,
+    low_rate: float,
+    rel_tol: float,
+    criteria: SustainabilityCriteria,
+    max_trials: int,
+) -> str:
+    """Identity of one search for the resume journal: everything that
+    shapes which rates get probed and how they are judged."""
+    return (
+        f"search|{spec.label()}|seed={spec.seed}|high={high_rate!r}"
+        f"|low={low_rate!r}|tol={rel_tol!r}|max_trials={max_trials}"
+        f"|criteria={criteria!r}"
+    )
+
+
 def find_sustainable_throughput(
     spec: ExperimentSpec,
     high_rate: float,
@@ -169,6 +207,7 @@ def find_sustainable_throughput(
     criteria: SustainabilityCriteria = SustainabilityCriteria(),
     max_trials: int = 12,
     run: Callable[[ExperimentSpec], TrialResult] = run_experiment,
+    journal: Optional[TrialJournal] = None,
 ) -> SustainableSearchResult:
     """Find the highest sustainable constant rate for ``spec``.
 
@@ -178,6 +217,13 @@ def find_sustainable_throughput(
     network bound).  Otherwise the rate is refined by bisection until
     the bracket is within ``rel_tol`` of itself.  If no probed rate is
     sustainable within ``max_trials``, ``sustainable_rate`` is NaN.
+
+    With a ``journal``, each completed probe's exported outcome is
+    checkpointed immediately; a later run with the same journal (and
+    fingerprint) replays journaled probes instead of re-running them --
+    the bisection re-derives the same rates in the same order, so an
+    interrupted search resumes exactly where it died and its final
+    report is byte-identical to an uninterrupted run.
     """
     if high_rate <= low_rate:
         raise ValueError(
@@ -186,9 +232,26 @@ def find_sustainable_throughput(
     trials: List[SearchTrial] = []
 
     def probe(rate: float) -> SustainabilityVerdict:
+        key = f"rate={rate!r}"
+        if journal is not None:
+            entry = journal.get(key)
+            if entry is not None:
+                verdict = SustainabilityVerdict(
+                    sustainable=bool(entry["sustainable"]),
+                    reasons=list(entry["reasons"]),
+                )
+                trials.append(
+                    SearchTrial(
+                        rate=rate, result=None, verdict=verdict, cached=entry
+                    )
+                )
+                return verdict
         result = run(spec.with_rate(rate))
         verdict = assess(result, criteria)
-        trials.append(SearchTrial(rate=rate, result=result, verdict=verdict))
+        trial = SearchTrial(rate=rate, result=result, verdict=verdict)
+        trials.append(trial)
+        if journal is not None:
+            journal.record(key, trial.export_entry())
         return verdict
 
     if probe(high_rate).sustainable:

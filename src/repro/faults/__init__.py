@@ -17,8 +17,11 @@ from repro.faults.checkpoint import CheckpointSpec, RecoverySemantics
 from repro.faults.guarantees import DeliveryGuarantee, GuaranteeAccounting
 from repro.faults.metrics import RecoveryMetrics, compute_recovery_metrics
 from repro.faults.schedule import (
+    DriverNodeSlow,
+    DriverQueueLoss,
     FaultEvent,
     FaultSchedule,
+    GeneratorCrash,
     NetworkPartition,
     NodeCrash,
     ProcessRestart,
@@ -29,8 +32,11 @@ from repro.faults.schedule import (
 __all__ = [
     "CheckpointSpec",
     "DeliveryGuarantee",
+    "DriverNodeSlow",
+    "DriverQueueLoss",
     "FaultEvent",
     "FaultSchedule",
+    "GeneratorCrash",
     "GuaranteeAccounting",
     "NetworkPartition",
     "NodeCrash",

@@ -51,6 +51,11 @@ class FaultEvent:
     #: Short tag used in logs, diagnostics, and CLI parsing.
     kind = "fault"
 
+    #: Driver-side faults injure the *measurement plane* (generators,
+    #: driver queues) and are routed to the BenchmarkDriver instead of
+    #: the engine (see repro.metrology).
+    driver_side = False
+
     def __post_init__(self) -> None:
         if self.at_s <= 0:
             raise ValueError(f"at_s must be positive, got {self.at_s}")
@@ -157,6 +162,75 @@ class QueueDisconnect(_TransientFaultEvent):
         if self.queue_index < 0:
             raise ValueError(
                 f"queue_index must be >= 0, got {self.queue_index}"
+            )
+
+
+@dataclass(frozen=True)
+class GeneratorCrash(FaultEvent):
+    """One data-generator instance dies permanently.
+
+    The paper's metrology assumes an over-provisioned generator fleet;
+    this fault tests that assumption: after a detection window the
+    fleet rebalances the dead instance's rate share over the survivors
+    (capped by their provisioned headroom,
+    :attr:`~repro.core.generator.GeneratorConfig.overprovision_factor`),
+    and the dead instance's queue is retired once drained so the SUT's
+    watermark is not wedged forever.  Without redistribution the trial
+    would silently measure a *lower* offered rate than reported."""
+
+    instance: int = 0
+    kind = "gencrash"
+    driver_side = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.instance < 0:
+            raise ValueError(
+                f"instance must be >= 0, got {self.instance}"
+            )
+
+
+@dataclass(frozen=True)
+class DriverQueueLoss(FaultEvent):
+    """One driver queue's in-memory backlog is lost (the driver node's
+    process was OOM-killed or rebooted).  The queued weight leaves the
+    driver ledger through ``lost`` (``pushed == pulled + queued + shed
+    + lost``) -- the instrument itself is at-most-once here, and the
+    accounting must say so instead of letting the loss masquerade as
+    SUT throughput."""
+
+    queue_index: int = 0
+    kind = "queueloss"
+    driver_side = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.queue_index < 0:
+            raise ValueError(
+                f"queue_index must be >= 0, got {self.queue_index}"
+            )
+
+
+@dataclass(frozen=True)
+class DriverNodeSlow(_TransientFaultEvent):
+    """One generator instance degrades to ``factor`` of its configured
+    rate for ``duration_s`` (a straggling *driver* node): the offered
+    load silently dips below what the trial claims to offer."""
+
+    instance: int = 0
+    factor: float = 0.5
+    kind = "driverslow"
+    driver_side = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.instance < 0:
+            raise ValueError(
+                f"instance must be >= 0, got {self.instance}"
+            )
+        if not 0.0 < self.factor < 1.0:
+            raise ValueError(
+                f"factor must be in (0, 1), got {self.factor}"
             )
 
 

@@ -1,0 +1,36 @@
+"""repro.metrology -- hardening of the measurement plane itself.
+
+PRs 2 and 4 made the SUT a fault domain; this package does the same for
+the *instrument*.  Three defenses, each answering one way a benchmark
+driver silently produces wrong numbers:
+
+- :mod:`repro.metrology.skew` -- clock disagreement between the
+  generator nodes (which stamp event times) and the sink reader
+  corrupts event-time latency.  The skew model applies per-node clock
+  errors (:mod:`repro.sim.clock`) to the measurement plane and exports
+  a hard bound on the residual error in ``TrialResult.diagnostics``.
+- :mod:`repro.metrology.watchdog` -- a hung or stalled trial wedges a
+  whole sweep.  The watchdog aborts non-progressing or over-deadline
+  trials and the retry runner re-runs them under capped exponential
+  backoff, keeping per-attempt diagnostics.
+- :mod:`repro.metrology.journal` -- a crashed sweep loses hours of
+  completed trials.  The journal checkpoints per-trial outcomes to
+  JSON so an interrupted search or chaos soak resumes byte-identically.
+"""
+
+from repro.metrology.journal import JournalMismatch, TrialJournal
+from repro.metrology.skew import SkewModel
+from repro.metrology.watchdog import (
+    AttemptRecord,
+    TrialWatchdog,
+    WatchdogSpec,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "JournalMismatch",
+    "SkewModel",
+    "TrialJournal",
+    "TrialWatchdog",
+    "WatchdogSpec",
+]

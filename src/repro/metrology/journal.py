@@ -1,0 +1,107 @@
+"""Checkpoint/resume journal for multi-trial experiments.
+
+A sustainable-throughput search is a dozen trials; a chaos soak is
+engines x policies x rounds.  Losing the process at trial ``k`` used to
+mean re-running trials ``0..k-1``.  The journal checkpoints each
+completed trial's *exported* outcome to a JSON file as soon as it
+finishes; on ``--resume`` the orchestrator replays journaled outcomes
+instead of re-running, and because the journal stores exactly the
+values the final report serialises (floats survive a JSON round-trip
+bit-for-bit), an interrupted-and-resumed run produces a byte-identical
+final report.
+
+The journal is keyed, not positional: deterministic orchestrators
+(bisection, the chaos grid) re-derive the same keys in the same order,
+so a key hit is a replay and a miss is live work.  A ``fingerprint``
+string captures everything that shaped the run (spec label, seed,
+search bracket, criteria); resuming against a journal whose fingerprint
+differs raises :class:`JournalMismatch` -- silently mixing trials from
+a different experiment would fabricate results.
+
+Writes are atomic (temp file + rename), so a crash mid-write leaves the
+previous consistent journal on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, Optional, Union
+
+_FORMAT = "repro-trial-journal-v1"
+
+
+class JournalMismatch(ValueError):
+    """The journal on disk belongs to a different experiment."""
+
+
+class TrialJournal:
+    """Keyed JSON store of completed-trial outcomes for one experiment."""
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        fingerprint: str,
+        resume: bool = False,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.fingerprint = fingerprint
+        self._entries: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        if resume:
+            if not self.path.exists():
+                # Resuming with nothing to resume from would silently
+                # re-run everything live -- surprising, so explicit.
+                raise FileNotFoundError(
+                    f"cannot --resume: journal {self.path} does not exist"
+                )
+            payload = json.loads(self.path.read_text())
+            if payload.get("format") != _FORMAT:
+                raise JournalMismatch(
+                    f"{self.path} is not a trial journal "
+                    f"(format {payload.get('format')!r})"
+                )
+            found = payload.get("fingerprint")
+            if found != fingerprint:
+                raise JournalMismatch(
+                    f"journal {self.path} was written by a different "
+                    f"experiment:\n  journal: {found}\n  current: {fingerprint}"
+                )
+            self._entries = dict(payload.get("entries", {}))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[Any]:
+        """The journaled outcome for ``key``, or None (counts hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def record(self, key: str, entry: Any) -> None:
+        """Checkpoint one completed trial (flushed to disk immediately)."""
+        self._entries[key] = entry
+        self._flush()
+
+    def _flush(self) -> None:
+        payload = {
+            "format": _FORMAT,
+            "fingerprint": self.fingerprint,
+            "entries": self._entries,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "journal.entries": float(len(self._entries)),
+            "journal.hits": float(self.hits),
+            "journal.misses": float(self.misses),
+        }

@@ -7,7 +7,7 @@ checks the properties that must hold on **every** path:
 1. **conservation** -- the PR 3 weight ledgers balance on every trial,
    failed or not: engine-side ``ingested == staged + admitted +
    dropped`` and ``admitted == closed + stored + lost``; driver-side
-   ``pushed == pulled + queued + shed``;
+   ``pushed == pulled + queued + shed + lost``;
 2. **guarantee accounting** -- the engine's delivery guarantee holds
    under arbitrary fault interleavings (exactly-once loses and
    duplicates nothing, at-least-once loses nothing, at-most-once
@@ -45,14 +45,18 @@ from repro.core.generator import GeneratorConfig
 import repro.engines.ext  # noqa: F401  (registers heron/samza in ENGINES)
 from repro.engines import engine_class
 from repro.faults.schedule import (
+    DriverNodeSlow,
+    DriverQueueLoss,
     FaultEvent,
     FaultSchedule,
+    GeneratorCrash,
     NetworkPartition,
     NodeCrash,
     ProcessRestart,
     QueueDisconnect,
     SlowNode,
 )
+from repro.metrology.journal import TrialJournal
 from repro.recovery.reschedule import MODE_STANDBY, ReschedulePolicy
 from repro.workloads.queries import WindowSpec, WindowedAggregationQuery
 
@@ -101,6 +105,10 @@ class ChaosConfig:
     latency_bound_s: float = 20.0
     """Queue backlog age tolerated at the end of a *surviving* trial --
     the bounded post-recovery latency invariant."""
+    driver_faults: bool = True
+    """Mix driver-side faults (generator crash, queue loss, slow driver
+    node) into the random schedules alongside the SUT faults -- the
+    measurement plane is a fault domain too (see :mod:`repro.metrology`)."""
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -128,14 +136,45 @@ def random_fault_schedule(
     times = np.sort(
         rng.uniform(0.25 * config.duration_s, 0.75 * config.duration_s, count)
     )
+    if config.driver_faults:
+        kinds = [
+            "crash", "restart", "slow", "partition", "disconnect",
+            "gencrash", "queueloss", "driverslow",
+        ]
+        weights = [0.15, 0.15, 0.2, 0.1, 0.15, 0.1, 0.1, 0.05]
+    else:
+        kinds = ["crash", "restart", "slow", "partition", "disconnect"]
+        weights = [0.2, 0.2, 0.25, 0.15, 0.2]
     events: List[FaultEvent] = []
     for at_s in times:
         at_s = float(round(at_s, 3))
-        kind = rng.choice(
-            ["crash", "restart", "slow", "partition", "disconnect"],
-            p=[0.2, 0.2, 0.25, 0.15, 0.2],
-        )
-        if kind == "crash":
+        kind = rng.choice(kinds, p=weights)
+        if kind == "gencrash":
+            events.append(
+                GeneratorCrash(
+                    at_s=at_s,
+                    instance=int(rng.integers(0, config.generator_instances)),
+                )
+            )
+        elif kind == "queueloss":
+            events.append(
+                DriverQueueLoss(
+                    at_s=at_s,
+                    queue_index=int(
+                        rng.integers(0, config.generator_instances)
+                    ),
+                )
+            )
+        elif kind == "driverslow":
+            events.append(
+                DriverNodeSlow(
+                    at_s=at_s,
+                    instance=int(rng.integers(0, config.generator_instances)),
+                    factor=float(round(rng.uniform(0.3, 0.8), 3)),
+                    duration_s=float(round(rng.uniform(4.0, 10.0), 3)),
+                )
+            )
+        elif kind == "crash":
             events.append(NodeCrash(at_s=at_s, nodes=1))
         elif kind == "restart":
             events.append(ProcessRestart(at_s=at_s, nodes=1))
@@ -220,10 +259,11 @@ def check_invariants(
         - d.get("driver.pulled_weight", 0.0)
         - d.get("driver.queued_weight", 0.0)
         - d.get("driver.shed_weight", 0.0)
+        - d.get("driver.lost_weight", 0.0)
     ) > LEDGER_REL_TOL * driver_scale:
         violations.append(
             f"{label}: driver ledger imbalance "
-            "(pushed != pulled + queued + shed)"
+            "(pushed != pulled + queued + shed + lost)"
         )
     guarantee = engine_class(result.engine).default_guarantee.value
     no_loss, no_dup = _GUARANTEE_RULES[guarantee]
@@ -267,6 +307,49 @@ def _round6(value: float) -> Optional[float]:
     return round(value, -magnitude + 5)
 
 
+def _clean(value: float) -> Optional[float]:
+    """NaN -> None (JSON-safe, reversed by ``_nan`` on absorb)."""
+    return None if value != value else float(value)
+
+
+def _nan(value: Optional[float]) -> float:
+    return float("nan") if value is None else float(value)
+
+
+def trial_digest(result: TrialResult, violations: List[str]) -> Dict[str, object]:
+    """Everything the scorecard needs from one trial, as a JSON-safe
+    dict.  The scorecard absorbs *digests* (never raw results), so a
+    journal-replayed trial aggregates bit-for-bit like a live one --
+    the chaos resume byte-identity rests on this."""
+    d = result.diagnostics
+    recovery = []
+    for entry in getattr(result, "recovery", None) or []:
+        recovery.append(
+            {
+                "detection_s": _clean(entry.detection_s),
+                "migrated_bytes": float(getattr(entry, "migrated_bytes", 0.0)),
+                "recovered": bool(entry.recovered),
+                "recovery_time_s": _clean(entry.recovery_time_s),
+                "catchup_throughput": _clean(entry.catchup_throughput),
+            }
+        )
+    return {
+        "failed": bool(result.failed),
+        "end_queue_delay_s": (
+            0.0 if result.failed else float(result.throughput.queue_delay_at_end())
+        ),
+        "faults_injected": float(d.get("faults_injected", 0.0)),
+        "driver_faults_injected": float(d.get("driver.faults_injected", 0.0)),
+        "shed_weight": float(d.get("shed_weight", 0.0)),
+        "standbys_promoted": float(d.get("standbys_promoted", 0.0)),
+        "lost_weight": float(d.get("lost_weight", 0.0)),
+        "duplicated_weight": float(d.get("duplicated_weight", 0.0)),
+        "driver_lost_weight": float(d.get("driver.lost_weight", 0.0)),
+        "recovery": recovery,
+        "violations": list(violations),
+    }
+
+
 @dataclass
 class Scorecard:
     """Aggregated recovery behaviour of one (engine, policy) cell."""
@@ -277,6 +360,7 @@ class Scorecard:
     survived: int = 0
     failed: int = 0
     faults_injected: int = 0
+    driver_faults_injected: int = 0
     faults_recovered: int = 0
     faults_unrecovered: int = 0
     detection_s_sum: float = 0.0
@@ -287,41 +371,51 @@ class Scorecard:
     standbys_promoted: float = 0.0
     lost_weight: float = 0.0
     duplicated_weight: float = 0.0
+    driver_lost_weight: float = 0.0
     end_queue_delay_s_max: float = 0.0
     violations: List[str] = field(default_factory=list)
 
     def absorb(self, result: TrialResult, violations: List[str]) -> None:
+        self.absorb_digest(trial_digest(result, violations))
+
+    def absorb_digest(self, digest: Dict[str, object]) -> None:
+        """Fold one trial digest into the cell.  Live trials and
+        journal-replayed ones go through this same method, so a resumed
+        soak aggregates bit-for-bit."""
         self.rounds += 1
-        if result.failed:
+        if digest["failed"]:
             self.failed += 1
         else:
             self.survived += 1
             self.end_queue_delay_s_max = max(
                 self.end_queue_delay_s_max,
-                result.throughput.queue_delay_at_end(),
+                float(digest["end_queue_delay_s"]),
             )
-        d = result.diagnostics
-        self.faults_injected += int(d.get("faults_injected", 0.0))
-        self.shed_weight += d.get("shed_weight", 0.0)
-        self.standbys_promoted += d.get("standbys_promoted", 0.0)
-        self.lost_weight += d.get("lost_weight", 0.0)
-        self.duplicated_weight += d.get("duplicated_weight", 0.0)
-        for entry in getattr(result, "recovery", None) or []:
-            if entry.detection_s == entry.detection_s:
-                self.detection_s_sum += entry.detection_s
-            self.migrated_bytes += getattr(entry, "migrated_bytes", 0.0)
-            if entry.recovered:
+        self.faults_injected += int(digest["faults_injected"])
+        self.driver_faults_injected += int(digest.get("driver_faults_injected", 0.0))
+        self.shed_weight += float(digest["shed_weight"])
+        self.standbys_promoted += float(digest["standbys_promoted"])
+        self.lost_weight += float(digest["lost_weight"])
+        self.duplicated_weight += float(digest["duplicated_weight"])
+        self.driver_lost_weight += float(digest.get("driver_lost_weight", 0.0))
+        for entry in digest["recovery"]:
+            detection = _nan(entry["detection_s"])
+            if detection == detection:
+                self.detection_s_sum += detection
+            self.migrated_bytes += float(entry["migrated_bytes"])
+            if entry["recovered"]:
                 self.faults_recovered += 1
                 self.recovery_s_max = max(
-                    self.recovery_s_max, entry.recovery_time_s
+                    self.recovery_s_max, _nan(entry["recovery_time_s"])
                 )
-                if entry.catchup_throughput == entry.catchup_throughput:
+                catchup = _nan(entry["catchup_throughput"])
+                if catchup == catchup:
                     self.catchup_rate_max = max(
-                        self.catchup_rate_max, entry.catchup_throughput
+                        self.catchup_rate_max, catchup
                     )
             else:
                 self.faults_unrecovered += 1
-        self.violations.extend(violations)
+        self.violations.extend(digest["violations"])
 
     def to_dict(self) -> Dict[str, object]:
         detection_mean = (
@@ -336,6 +430,7 @@ class Scorecard:
             "survived": self.survived,
             "failed": self.failed,
             "faults_injected": self.faults_injected,
+            "driver_faults_injected": self.driver_faults_injected,
             "faults_recovered": self.faults_recovered,
             "faults_unrecovered": self.faults_unrecovered,
             "detection_s_mean": _round6(detection_mean),
@@ -346,6 +441,7 @@ class Scorecard:
             "standbys_promoted": _round6(self.standbys_promoted),
             "lost_weight": _round6(self.lost_weight),
             "duplicated_weight": _round6(self.duplicated_weight),
+            "driver_lost_weight": _round6(self.driver_lost_weight),
             "end_queue_delay_s_max": _round6(self.end_queue_delay_s_max),
             "violations": sorted(self.violations),
         }
@@ -447,13 +543,23 @@ def _trial_spec(
     )
 
 
+def chaos_fingerprint(config: ChaosConfig) -> str:
+    """Identity of a soak for journal resume: a resumed run must replay
+    trials only from a journal written by the *same* soak."""
+    return f"chaos|{config!r}"
+
+
 def run_chaos(
-    config: ChaosConfig = ChaosConfig(), progress=None
+    config: ChaosConfig = ChaosConfig(),
+    progress=None,
+    journal: Optional[TrialJournal] = None,
 ) -> ChaosReport:
     """Run the soak: for each round, draw one fault schedule and push it
     through every (engine, policy) cell, checking invariants on every
     trial.  ``progress`` (if given) is called with a status line per
-    trial."""
+    trial.  With a ``journal``, completed trials are persisted as
+    digests and replayed on resume -- the final scorecard JSON is
+    byte-identical to an uninterrupted run."""
     scorecards: Dict[Tuple[str, str], Scorecard] = {
         (engine, policy.name): Scorecard(engine=engine, policy=policy.name)
         for engine in config.engines
@@ -467,21 +573,30 @@ def run_chaos(
         for engine in config.engines:
             for policy in config.policies:
                 label = f"{engine}/{policy.name}/round{round_index}"
-                spec = _trial_spec(
-                    engine,
-                    policy,
-                    schedule,
-                    config,
-                    seed=config.seed * 1_000 + round_index,
-                )
-                result = run_experiment(spec)
-                violations = check_invariants(result, config, label)
-                scorecards[(engine, policy.name)].absorb(result, violations)
+                digest = journal.get(label) if journal is not None else None
+                if digest is None:
+                    spec = _trial_spec(
+                        engine,
+                        policy,
+                        schedule,
+                        config,
+                        seed=config.seed * 1_000 + round_index,
+                    )
+                    result = run_experiment(spec)
+                    violations = check_invariants(result, config, label)
+                    digest = trial_digest(result, violations)
+                    if journal is not None:
+                        journal.record(label, digest)
+                    replayed = ""
+                else:
+                    replayed = " (journal)"
+                scorecards[(engine, policy.name)].absorb_digest(digest)
                 if progress is not None:
-                    status = "FAILED" if result.failed else "ok"
+                    status = "FAILED" if digest["failed"] else "ok"
+                    count = len(digest["violations"])
                     progress(
-                        f"{label}: {status}"
-                        + (f" ({len(violations)} violations)" if violations else "")
+                        f"{label}: {status}{replayed}"
+                        + (f" ({count} violations)" if count else "")
                     )
     return ChaosReport(
         config=config, schedules=schedules, scorecards=scorecards

@@ -35,3 +35,20 @@ class TopologyStalled(SutFailure):
 
 class OutOfMemory(SutFailure):
     """Operator state exceeded the worker memory budget without spill."""
+
+
+class MeasurementFault(SutFailure):
+    """Base class: the *measurement plane* (not the SUT) invalidated the
+    trial.  Subclassing :class:`SutFailure` is deliberate -- the driver
+    already knows how to convert that into a failed trial with partial
+    diagnostics, and a trial whose instrument failed must never be
+    reported as a valid measurement."""
+
+
+class TrialTimeout(MeasurementFault):
+    """The trial exceeded its wall-clock deadline (watchdog abort)."""
+
+
+class TrialStalled(MeasurementFault):
+    """The driver observed no push/pull progress for too long
+    (watchdog abort): the trial would never finish on its own."""

@@ -1,0 +1,145 @@
+"""CLI surface of the measurement-plane hardening (PR 5).
+
+Bad argument *values* must exit 2 with a one-line error (never a
+traceback), and the new flags -- --clock-skew, --driver-fault,
+--trial-timeout/--trial-stall, --journal/--resume -- must round-trip
+through the real commands.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.faults.schedule import DriverNodeSlow, GeneratorCrash
+from repro.sim.clock import ClockSkewSpec
+
+
+class TestParsing:
+    def test_clock_skew_full_form(self):
+        args = build_parser().parse_args(
+            ["run", "--clock-skew", "5:40:0.5:15"]
+        )
+        spec = args.clock_skew
+        assert isinstance(spec, ClockSkewSpec)
+        assert spec.offset_s == pytest.approx(0.005)
+        assert spec.drift_ppm == pytest.approx(40.0)
+        assert spec.ntp_residual_s == pytest.approx(0.0005)
+        assert spec.ntp_interval_s == pytest.approx(15.0)
+
+    def test_clock_skew_short_form_uses_defaults(self):
+        spec = build_parser().parse_args(
+            ["run", "--clock-skew", "10"]
+        ).clock_skew
+        assert spec.offset_s == pytest.approx(0.010)
+        assert spec.drift_ppm == pytest.approx(20.0)
+
+    def test_malformed_clock_skew_is_an_argument_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--clock-skew", "abc"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--clock-skew", "1:2:3:4:5"])
+
+    def test_driver_fault_kinds(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "--driver-fault", "gencrash@20",
+                "--driver-fault", "driverslow@30:5",
+            ]
+        )
+        crash, slow = args.driver_fault
+        assert isinstance(crash, GeneratorCrash) and crash.at_s == 20.0
+        assert isinstance(slow, DriverNodeSlow) and slow.duration_s == 5.0
+
+    def test_unknown_driver_fault_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--driver-fault", "crash@20"])
+
+
+class TestArgumentValueErrors:
+    def run_cli(self, argv):
+        return main(argv)
+
+    def test_bad_generator_count_exits_2(self, capsys):
+        code = self.run_cli(
+            ["run", "--generators", "0", "--duration", "10", "--no-resources"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "instances" in err
+
+    def test_uncorrected_without_skew_exits_2(self, capsys):
+        code = self.run_cli(
+            ["run", "--uncorrected-clocks", "--duration", "10",
+             "--no-resources"]
+        )
+        assert code == 2
+        assert "--clock-skew" in capsys.readouterr().err
+
+    def test_resume_without_journal_exits_2(self, capsys):
+        code = self.run_cli(
+            ["search", "--resume", "--duration", "10", "--no-resources"]
+        )
+        assert code == 2
+        assert "--journal" in capsys.readouterr().err
+
+
+class TestExecution:
+    def run_cli(self, argv):
+        return main(argv)
+
+    def test_run_with_skew_and_watchdog(self, capsys, tmp_path):
+        out = tmp_path / "trial.json"
+        code = self.run_cli(
+            [
+                "run",
+                "--rate", "10000",
+                "--duration", "30",
+                "--generators", "2",
+                "--no-resources",
+                "--clock-skew", "5:20:0.5:30",
+                "--trial-stall", "10",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert "clock-skew bound" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["diagnostics"]["metrology.skew_within_bound"] == 1.0
+        assert payload["diagnostics"]["watchdog.attempts"] == 1.0
+        assert [a["outcome"] for a in payload["attempts"]] == ["completed"]
+
+    def test_run_with_driver_fault(self, capsys):
+        code = self.run_cli(
+            [
+                "run",
+                "--rate", "10000",
+                "--duration", "40",
+                "--generators", "2",
+                "--no-resources",
+                "--driver-fault", "gencrash@20",
+            ]
+        )
+        assert code == 0
+        assert "gencrash" in capsys.readouterr().out
+
+    def test_search_journal_resume_round_trip(self, capsys, tmp_path):
+        journal = tmp_path / "journal.json"
+        argv = [
+            "search",
+            "--engine", "flink",
+            "--high-rate", "20000",
+            "--duration", "30",
+            "--generators", "1",
+            "--no-resources",
+            "--journal", str(journal),
+        ]
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        assert self.run_cli(argv + ["--output", str(first)]) == 0
+        assert (
+            self.run_cli(argv + ["--resume", "--output", str(second)]) == 0
+        )
+        assert "replayed" in capsys.readouterr().out
+        assert first.read_bytes() == second.read_bytes()

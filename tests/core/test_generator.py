@@ -217,11 +217,38 @@ class TestValidation:
         with pytest.raises(ValueError):
             GeneratorConfig(instances=0)
         with pytest.raises(ValueError):
+            GeneratorConfig(instances=-2)
+        with pytest.raises(ValueError):
             GeneratorConfig(tick_interval_s=0.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(tick_interval_s=-1.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(queue_capacity_seconds=0.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(queue_capacity_seconds=-5.0)
         with pytest.raises(ValueError):
             GeneratorConfig(mode="other")
         with pytest.raises(ValueError):
             GeneratorConfig(keys_per_cohort=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(overprovision_factor=0.5)
+        with pytest.raises(ValueError):
+            GeneratorConfig(rebalance_detection_s=0.0)
+
+    def test_validation_messages_name_the_value(self):
+        # The CLI surfaces these messages verbatim as argument errors;
+        # they must say what was wrong, not just that something was.
+        with pytest.raises(ValueError, match="-3"):
+            GeneratorConfig(instances=-3)
+        with pytest.raises(ValueError, match="other"):
+            GeneratorConfig(mode="other")
+
+    def test_max_share_capped_by_overprovision(self):
+        assert GeneratorConfig(
+            instances=4, overprovision_factor=2.0
+        ).max_share == pytest.approx(0.5)
+        # A single instance can always serve the whole profile.
+        assert GeneratorConfig(instances=1).max_share == 1.0
 
     def test_bad_share_rejected(self):
         sim = Simulator()

@@ -1,0 +1,146 @@
+"""Checkpoint/resume journals: kill-at-trial-k resume byte-identity."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import search_to_dict
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.generator import GeneratorConfig
+from repro.core.sustainable import (
+    SustainabilityCriteria,
+    find_sustainable_throughput,
+    search_fingerprint,
+)
+from repro.metrology import JournalMismatch, TrialJournal
+from repro.workloads.queries import WindowSpec, WindowedAggregationQuery
+
+HIGH_RATE = 400_000.0
+
+
+def _spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        engine="storm",
+        query=WindowedAggregationQuery(window=WindowSpec(8.0, 4.0)),
+        workers=2,
+        profile=HIGH_RATE,
+        duration_s=30.0,
+        seed=5,
+        generator=GeneratorConfig(instances=2),
+        monitor_resources=False,
+    )
+
+
+def _fingerprint(spec) -> str:
+    return search_fingerprint(
+        spec,
+        high_rate=HIGH_RATE,
+        low_rate=0.0,
+        rel_tol=0.05,
+        criteria=SustainabilityCriteria(),
+        max_trials=12,
+    )
+
+
+class TestJournalBasics:
+    def test_get_miss_then_record_then_hit(self, tmp_path):
+        journal = TrialJournal(tmp_path / "j.json", fingerprint="fp")
+        assert journal.get("k") is None
+        journal.record("k", {"x": 1.5})
+        assert journal.get("k") == {"x": 1.5}
+        # The file is flushed immediately: a crash right now loses
+        # nothing already recorded.
+        reopened = TrialJournal(
+            tmp_path / "j.json", fingerprint="fp", resume=True
+        )
+        assert reopened.get("k") == {"x": 1.5}
+
+    def test_resume_requires_existing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TrialJournal(tmp_path / "missing.json", fingerprint="fp", resume=True)
+
+    def test_fingerprint_mismatch_refuses_to_resume(self, tmp_path):
+        TrialJournal(tmp_path / "j.json", fingerprint="fp-a").record("k", {})
+        with pytest.raises(JournalMismatch):
+            TrialJournal(tmp_path / "j.json", fingerprint="fp-b", resume=True)
+
+    def test_fresh_journal_overwrites_stale_file(self, tmp_path):
+        path = tmp_path / "j.json"
+        TrialJournal(path, fingerprint="fp-a").record("k", {"x": 1.0})
+        fresh = TrialJournal(path, fingerprint="fp-b")
+        assert fresh.get("k") is None
+
+
+class TestSearchResume:
+    class Killed(RuntimeError):
+        pass
+
+    def _killing_run(self, live_budget):
+        """A run callable that dies after ``live_budget`` live trials --
+        the moral equivalent of kill -9 at trial k."""
+        remaining = [live_budget]
+
+        def run(spec):
+            if remaining[0] <= 0:
+                raise self.Killed()
+            remaining[0] -= 1
+            return run_experiment(spec)
+
+        return run
+
+    @pytest.mark.parametrize("kill_after", [1, 2])
+    def test_killed_then_resumed_search_is_byte_identical(
+        self, tmp_path, kill_after
+    ):
+        spec = _spec()
+        reference = find_sustainable_throughput(spec, high_rate=HIGH_RATE)
+        reference_json = json.dumps(
+            search_to_dict(reference), indent=2, sort_keys=True
+        )
+
+        path = tmp_path / "journal.json"
+        journal = TrialJournal(path, fingerprint=_fingerprint(spec))
+        with pytest.raises(self.Killed):
+            find_sustainable_throughput(
+                spec,
+                high_rate=HIGH_RATE,
+                run=self._killing_run(kill_after),
+                journal=journal,
+            )
+
+        resumed_journal = TrialJournal(
+            path, fingerprint=_fingerprint(spec), resume=True
+        )
+        resumed = find_sustainable_throughput(
+            spec, high_rate=HIGH_RATE, journal=resumed_journal
+        )
+        assert resumed_journal.hits == kill_after
+        assert resumed_journal.misses == reference.trial_count - kill_after
+        resumed_json = json.dumps(
+            search_to_dict(resumed), indent=2, sort_keys=True
+        )
+        assert resumed_json == reference_json
+
+    def test_fully_journaled_search_runs_zero_trials(self, tmp_path):
+        spec = _spec()
+        path = tmp_path / "journal.json"
+        first = find_sustainable_throughput(
+            spec,
+            high_rate=HIGH_RATE,
+            journal=TrialJournal(path, fingerprint=_fingerprint(spec)),
+        )
+        replay_journal = TrialJournal(
+            path, fingerprint=_fingerprint(spec), resume=True
+        )
+
+        def forbidden_run(spec):
+            raise AssertionError("journaled search must not re-run trials")
+
+        replay = find_sustainable_throughput(
+            spec,
+            high_rate=HIGH_RATE,
+            run=forbidden_run,
+            journal=replay_journal,
+        )
+        assert replay_journal.misses == 0
+        assert replay.sustainable_rate == first.sustainable_rate

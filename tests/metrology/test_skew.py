@@ -1,0 +1,132 @@
+"""Skew-aware correction layer: regression against skew-free goldens.
+
+The whole point of the measurement-plane clock model is a *quantified*
+promise: with NTP-style correction the reported event-time latency is
+within the exported bound of what a perfectly-clocked driver would
+report, while an uncorrected cluster demonstrably violates that bound.
+The same-seed skew-free run is a legitimate golden because the clock
+model never touches SUT dynamics -- only the measurement plane reads
+skewed clocks.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.engines.ext  # noqa: F401  (registers heron/samza)
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.generator import GeneratorConfig
+from repro.sim.clock import ClockSkewSpec
+from repro.workloads.queries import WindowSpec, WindowedAggregationQuery
+
+ENGINES = ("flink", "storm", "spark", "heron", "samza")
+
+QUANTILES = ("mean", "p90", "p95", "p99")
+
+
+def _spec(engine: str, clock_skew=None) -> ExperimentSpec:
+    return ExperimentSpec(
+        engine=engine,
+        query=WindowedAggregationQuery(window=WindowSpec(8.0, 4.0)),
+        workers=2,
+        profile=20_000.0,
+        duration_s=32.0,
+        seed=11,
+        generator=GeneratorConfig(instances=2),
+        monitor_resources=False,
+        clock_skew=clock_skew,
+    )
+
+
+#: Same-seed skew-free goldens, one trial per engine (cached: the
+#: property test compares many clock configs against the same golden).
+_GOLDEN: dict = {}
+
+
+def golden(engine: str):
+    if engine not in _GOLDEN:
+        _GOLDEN[engine] = run_experiment(_spec(engine))
+    return _GOLDEN[engine]
+
+
+def quantiles(result):
+    summary = result.event_latency
+    return {q: getattr(summary, q) for q in QUANTILES}
+
+
+class TestSkewRegression:
+    #: Paper-realistic magnitudes: tens of ms offsets, tens of ppm
+    #: drift, sub-ms NTP residual.
+    SKEW = ClockSkewSpec(
+        offset_s=0.020, drift_ppm=40.0, ntp_interval_s=20.0,
+        ntp_residual_s=0.0005,
+    )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_corrected_latency_within_exported_bound(self, engine):
+        base = golden(engine)
+        skewed = run_experiment(_spec(engine, clock_skew=self.SKEW))
+        bound = skewed.diagnostics["metrology.skew_bound_s"]
+        assert bound > 0
+        for q, value in quantiles(skewed).items():
+            assert abs(value - quantiles(base)[q]) <= bound, q
+        assert (
+            skewed.diagnostics["metrology.skew_max_error_s"] <= bound
+        )
+        assert skewed.diagnostics["metrology.skew_within_bound"] == 1.0
+        assert skewed.diagnostics["metrology.skew_corrected"] == 1.0
+
+    @pytest.mark.parametrize("engine", ("flink", "samza"))
+    def test_uncorrected_clocks_violate_the_bound(self, engine):
+        uncorrected = ClockSkewSpec(
+            offset_s=self.SKEW.offset_s,
+            drift_ppm=self.SKEW.drift_ppm,
+            ntp_interval_s=self.SKEW.ntp_interval_s,
+            ntp_residual_s=self.SKEW.ntp_residual_s,
+            corrected=False,
+        )
+        result = run_experiment(_spec(engine, clock_skew=uncorrected))
+        bound = result.diagnostics["metrology.skew_bound_s"]
+        # The raw 20 ms offsets dwarf the ~1.3 ms disciplined bound.
+        assert result.diagnostics["metrology.skew_max_error_s"] > bound
+        assert result.diagnostics["metrology.skew_within_bound"] == 0.0
+        assert result.diagnostics["metrology.skew_corrected"] == 0.0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_skew_never_touches_sut_dynamics(self, engine):
+        base = golden(engine)
+        skewed = run_experiment(_spec(engine, clock_skew=self.SKEW))
+        assert skewed.mean_ingest_rate == base.mean_ingest_rate
+        assert len(skewed.collector) == len(base.collector)
+        for key in ("driver.pushed_weight", "driver.pulled_weight"):
+            assert skewed.diagnostics[key] == base.diagnostics[key]
+
+
+clock_specs = st.builds(
+    ClockSkewSpec,
+    offset_s=st.floats(0.0, 0.1),
+    drift_ppm=st.floats(0.0, 200.0),
+    ntp_interval_s=st.floats(5.0, 60.0),
+    ntp_residual_s=st.floats(0.0, 0.002),
+)
+
+
+class TestSkewProperty:
+    """Hypothesis: the bound holds for *any* in-range clock config."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(skew=clock_specs)
+    def test_corrected_latency_within_bound(self, engine, skew):
+        base = golden(engine)
+        skewed = run_experiment(_spec(engine, clock_skew=skew))
+        bound = skewed.diagnostics["metrology.skew_bound_s"]
+        assert (
+            skewed.diagnostics["metrology.skew_max_error_s"] <= bound
+        )
+        for q, value in quantiles(skewed).items():
+            assert abs(value - quantiles(base)[q]) <= bound, q

