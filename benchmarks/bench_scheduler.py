@@ -1,0 +1,116 @@
+"""Benchmark: the work-stealing trial scheduler on a chaos soak.
+
+The chaos grid (engines x recovery policies x seeded rounds) is
+embarrassingly parallel: every cell's seed is derived before fan-out,
+so :class:`repro.sched.TrialScheduler` can spread cells over worker
+processes without touching a single reported byte.  This bench runs the
+same soak serially and with ``--workers N``, verifies the two
+scorecards are BYTE-IDENTICAL, and reports the wall-clock speedup.
+
+Run directly (not collected by the tier-1 pytest run)::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler.py              # 4 workers
+    PYTHONPATH=src python benchmarks/bench_scheduler.py --workers 8
+
+Exit status is non-zero if the byte-identity check fails, or if
+``--assert-speedup X`` is given and the measured speedup is below X.
+The speedup gate only applies when the machine has at least
+``--workers`` CPU cores (a 1-core runner cannot exhibit parallel
+speedup; byte-identity is still enforced there).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.recovery.chaos import ChaosConfig, run_chaos
+
+
+def soak_config(args: argparse.Namespace) -> ChaosConfig:
+    return ChaosConfig(
+        seed=args.seed,
+        rounds=args.rounds,
+        engines=tuple(args.engines),
+        duration_s=args.duration,
+        rate=args.rate,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument(
+        "--engines", nargs="+", default=["flink", "storm", "spark"]
+    )
+    parser.add_argument("--duration", type=float, default=30.0)
+    parser.add_argument("--rate", type=float, default=30_000.0)
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=0.0,
+        help=(
+            "fail unless the parallel soak is at least this much faster "
+            "(skipped, with a note, on machines with fewer cores than "
+            "--workers)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 2:
+        parser.error("--workers must be >= 2 (comparing against serial)")
+
+    config = soak_config(args)
+    cells = len(config.engines) * len(config.policies) * args.rounds
+    print(
+        f"== trial scheduler @ chaos soak: {len(config.engines)} engines "
+        f"x {args.rounds} rounds, {args.workers} workers =="
+    )
+
+    t0 = time.perf_counter()
+    serial = run_chaos(config)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_chaos(config, workers=args.workers)
+    parallel_s = time.perf_counter() - t0
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"serial   (1 worker)           {serial_s:8.2f} s")
+    print(f"parallel ({args.workers} workers)          {parallel_s:8.2f} s   "
+          f"speedup {speedup:5.2f}x")
+
+    serial_bytes = json.dumps(serial.to_dict(), sort_keys=True)
+    parallel_bytes = json.dumps(parallel.to_dict(), sort_keys=True)
+    if serial_bytes != parallel_bytes:
+        print("BYTE-IDENTITY CHECK FAILED: parallel scorecard differs")
+        return 1
+    print(f"byte identity: OK ({cells} trial digests compared)")
+
+    if args.assert_speedup > 0:
+        cores = os.cpu_count() or 1
+        if cores < args.workers:
+            print(
+                f"speedup gate skipped: {cores} cores < "
+                f"{args.workers} workers (byte identity still enforced)"
+            )
+        elif speedup < args.assert_speedup:
+            print(
+                f"SPEEDUP CHECK FAILED: {speedup:.2f}x "
+                f"< required {args.assert_speedup:.2f}x"
+            )
+            return 1
+        else:
+            print(
+                f"speedup gate: OK ({speedup:.2f}x >= "
+                f"{args.assert_speedup:.2f}x)"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

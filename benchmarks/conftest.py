@@ -14,6 +14,7 @@ written to ``benchmarks/out/`` for inspection.
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Dict, Tuple
 
@@ -23,7 +24,7 @@ from repro.core.experiment import ExperimentSpec
 from repro.core.generator import GeneratorConfig
 from repro.core.sustainable import (
     SustainabilityCriteria,
-    find_sustainable_throughput,
+    sweep_sustainable_rates,
 )
 from repro.workloads.queries import (
     PAPER_DEFAULT_WINDOW,
@@ -84,21 +85,28 @@ def join_spec(engine: str, workers: int, **overrides) -> ExperimentSpec:
     return ExperimentSpec(**defaults)
 
 
+# Scheduler parallelism for the session searches; rates are
+# byte-identical for any value (see repro.sched), so CI can crank this
+# up to the runner's core count without perturbing the tables.
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+
+
 def search_rates(
     spec_builder, engines, high_rate
 ) -> Dict[Tuple[str, int], float]:
-    rates: Dict[Tuple[str, int], float] = {}
-    for engine in engines:
-        for workers in WORKER_SWEEP:
-            result = find_sustainable_throughput(
-                spec_builder(engine, workers),
-                high_rate=high_rate,
-                rel_tol=0.05,
-                criteria=CRITERIA,
-                max_trials=9,
-            )
-            rates[(engine, workers)] = result.sustainable_rate
-    return rates
+    cells = [
+        ((engine, workers), spec_builder(engine, workers))
+        for engine in engines
+        for workers in WORKER_SWEEP
+    ]
+    return sweep_sustainable_rates(
+        cells,
+        high_rate=high_rate,
+        rel_tol=0.05,
+        criteria=CRITERIA,
+        max_trials=9,
+        workers=JOBS,
+    )
 
 
 @pytest.fixture(scope="session")

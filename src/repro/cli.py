@@ -28,6 +28,14 @@ faults into the benchmark harness itself, ``--trial-timeout`` /
 ``--retry-backoff``), and ``--journal PATH`` / ``--resume`` checkpoint
 ``search`` and ``chaos`` sweeps for byte-identical resume.
 
+Parallel trial scheduling (PR 6): ``search --jobs N`` runs speculative
+bisection probes in N worker processes, ``sweep --jobs N`` fans sweep
+cells out the same way, and ``chaos --workers N`` parallelises the
+chaos grid (``--sut-workers`` now carries the simulated cluster size).
+Parallel runs are byte-identical to serial ones; with ``--journal``
+each worker checkpoints to its own shard, merged on completion or on
+``--resume``.
+
 Every command prints paper-style output and can export JSON via
 ``--output``.  Bad argument *values* (not just syntax) exit 2 with a
 one-line error instead of a traceback.
@@ -46,11 +54,7 @@ from repro.analysis.export import (
     trial_to_dict,
     write_json,
 )
-from repro.core.experiment import (
-    ExperimentSpec,
-    run_experiment,
-    run_experiment_with_watchdog,
-)
+from repro.core.experiment import ExperimentSpec, runner_for
 from repro.core.generator import GeneratorConfig
 from repro.core.report import throughput_table
 from repro.core.sustainable import (
@@ -59,6 +63,7 @@ from repro.core.sustainable import (
     find_sustainable_throughput_online,
     find_sustainable_throughput_under_faults,
     search_fingerprint,
+    sweep_sustainable_rates,
 )
 from repro.engines import ENGINES, engine_class
 from repro.faults import (
@@ -228,11 +233,16 @@ def build_watchdog(args: argparse.Namespace) -> Optional[WatchdogSpec]:
 
 
 def build_runner(args: argparse.Namespace):
-    """The trial runner ``search``/``run`` use: plain, or watchdog-wrapped."""
-    watchdog = build_watchdog(args)
-    if watchdog is None:
-        return run_experiment
-    return lambda spec: run_experiment_with_watchdog(spec, watchdog)
+    """The trial runner ``run`` uses: plain, or watchdog-wrapped."""
+    return runner_for(build_watchdog(args))
+
+
+def build_jobs(args: argparse.Namespace) -> int:
+    """Scheduler parallelism (``--jobs`` / chaos ``--workers``)."""
+    jobs = getattr(args, "jobs", None) or 1
+    if jobs < 1:
+        raise ValueError(f"--jobs must be >= 1, got {jobs}")
+    return jobs
 
 
 def build_checkpoint(args: argparse.Namespace):
@@ -499,7 +509,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_search(args: argparse.Namespace) -> int:
     spec = build_spec(args, rate=args.high_rate)
-    runner = build_runner(args)
+    watchdog = build_watchdog(args)
+    jobs = build_jobs(args)
     if args.journal and (args.online or spec.resolved_faults() is not None):
         raise ValueError(
             "--journal is only supported for the bisection search "
@@ -507,6 +518,10 @@ def cmd_search(args: argparse.Namespace) -> int:
         )
     if args.resume and not args.journal:
         raise ValueError("--resume requires --journal PATH")
+    if args.online and jobs > 1:
+        raise ValueError(
+            "--jobs does not apply to --online (a single-trial probe)"
+        )
     if args.online:
         online = find_sustainable_throughput_online(
             spec, high_rate=args.high_rate
@@ -533,7 +548,8 @@ def cmd_search(args: argparse.Namespace) -> int:
             high_rate=args.high_rate,
             rel_tol=args.tolerance,
             max_recovery_time_s=args.max_recovery,
-            run=runner,
+            workers=jobs,
+            watchdog=watchdog,
         )
     else:
         journal = None
@@ -554,8 +570,9 @@ def cmd_search(args: argparse.Namespace) -> int:
             spec,
             high_rate=args.high_rate,
             rel_tol=args.tolerance,
-            run=runner,
             journal=journal,
+            workers=jobs,
+            watchdog=watchdog,
         )
         if journal is not None:
             print(
@@ -576,21 +593,28 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    measured = {}
+    cells = []
     for engine in args.engines:
         for workers in args.worker_counts:
             sweep_args = argparse.Namespace(**vars(args))
             sweep_args.engine = engine
             sweep_args.workers = workers
             spec = build_spec(sweep_args, rate=args.high_rate)
-            search = find_sustainable_throughput(
-                spec, high_rate=args.high_rate, rel_tol=args.tolerance
-            )
-            measured[(engine, workers)] = search.sustainable_rate
-            print(
-                f"  {engine}/{workers}w: "
-                f"{search.sustainable_rate / 1e6:.3f} M/s"
-            )
+            cells.append(((engine, workers), spec))
+    rates = sweep_sustainable_rates(
+        cells,
+        high_rate=args.high_rate,
+        rel_tol=args.tolerance,
+        workers=build_jobs(args),
+        watchdog=build_watchdog(args),
+    )
+    measured = {}
+    for (engine, workers), _spec in cells:
+        measured[(engine, workers)] = rates[(engine, workers)]
+        print(
+            f"  {engine}/{workers}w: "
+            f"{rates[(engine, workers)] / 1e6:.3f} M/s"
+        )
     print()
     print(
         throughput_table(
@@ -621,7 +645,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         engines=tuple(args.engines),
         duration_s=args.duration,
         rate=args.rate,
-        workers=args.workers,
+        workers=args.sut_workers,
         driver_faults=not args.no_driver_faults,
     )
     journal = None
@@ -631,8 +655,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             fingerprint=chaos_fingerprint(config),
             resume=args.resume,
         )
+    if args.workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {args.workers}")
     progress = print if args.verbose else None
-    report = run_chaos(config, progress=progress, journal=journal)
+    report = run_chaos(
+        config, progress=progress, journal=journal, workers=args.workers
+    )
     if journal is not None:
         print(
             f"journal: {journal.hits} replayed, {journal.misses} run live"
@@ -714,6 +742,13 @@ def build_parser() -> argparse.ArgumentParser:
             "re-running them (byte-identical final report)"
         ),
     )
+    search_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help=(
+            "run up to N speculative bisection probes in parallel worker "
+            "processes; the report stays byte-identical to --jobs 1"
+        ),
+    )
     search_parser.set_defaults(func=cmd_search)
 
     sweep_parser = sub.add_parser(
@@ -729,6 +764,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--high-rate", type=float, default=1.6e6)
     sweep_parser.add_argument("--tolerance", type=float, default=0.05)
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help=(
+            "fan sweep cells over N worker processes (results stay "
+            "byte-identical to --jobs 1)"
+        ),
+    )
     sweep_parser.set_defaults(func=cmd_sweep)
 
     engines_parser = sub.add_parser(
@@ -760,7 +802,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--rate", type=float, default=30_000.0,
         help="offered load per trial in events/s (default: 30000)",
     )
-    chaos_parser.add_argument("--workers", type=int, default=2)
+    chaos_parser.add_argument(
+        "--workers", type=int, default=1,
+        help=(
+            "scheduler parallelism: fan grid cells over N worker "
+            "processes (scorecard stays byte-identical to --workers 1)"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--sut-workers", type=int, default=2,
+        help="simulated cluster size per trial (default: 2)",
+    )
     chaos_parser.add_argument(
         "--verbose", action="store_true",
         help="print a status line per trial",

@@ -10,6 +10,7 @@ tests go through this single entry point.
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Union
@@ -337,3 +338,17 @@ def run_experiment_with_watchdog(
         1.0 if attempts[-1].outcome in ("timeout", "stalled") else 0.0
     )
     return result
+
+
+def runner_for(
+    watchdog: Optional[WatchdogSpec] = None,
+) -> Callable[[ExperimentSpec], TrialResult]:
+    """The trial runner for an optional watchdog: plain, or wrapped.
+
+    Built from module-level callables only, so the result is picklable
+    and can be shipped to :mod:`repro.sched` worker processes (a lambda
+    closing over the spec could not be).
+    """
+    if watchdog is None:
+        return run_experiment
+    return functools.partial(run_experiment_with_watchdog, watchdog=watchdog)

@@ -29,11 +29,13 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.driver import TrialResult
-from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.experiment import ExperimentSpec, run_experiment, runner_for
 from repro.core.latency import EVENT_TIME
-from repro.metrology.journal import TrialJournal
+from repro.metrology.journal import MISSING, TrialJournal
+from repro.metrology.watchdog import WatchdogSpec
 from repro.obs.context import ObsSpec
 from repro.recovery.aimd import AimdConfig, AimdController, AimdDecision
+from repro.sched.pool import TrialScheduler, TrialTask
 from repro.workloads.profiles import AdaptiveRate
 
 
@@ -126,12 +128,53 @@ def assess(
     return SustainabilityVerdict(sustainable=not reasons, reasons=reasons)
 
 
+def probe_key(rate: float) -> str:
+    """Journal key of one rate probe (shared by serial and parallel)."""
+    return f"rate={rate!r}"
+
+
+def _export_entry(
+    rate: float, verdict: "SustainabilityVerdict", result: TrialResult
+) -> dict:
+    """The JSON-safe per-probe dict the search report serialises.  The
+    serial path, the journal, and scheduler workers all build exactly
+    this dict, so every route to a report is byte-identical."""
+    return {
+        "rate": rate,
+        "sustainable": verdict.sustainable,
+        "reasons": list(verdict.reasons),
+        "mean_ingest_rate": result.mean_ingest_rate,
+        "event_latency": result.event_latency.to_dict(),
+    }
+
+
+def _probe_task(payload) -> dict:
+    """Scheduler worker body: run one rate probe, return its entry."""
+    spec, rate, criteria, watchdog = payload
+    result = runner_for(watchdog)(spec.with_rate(rate))
+    return _export_entry(rate, assess(result, criteria), result)
+
+
+def _trial_from_entry(rate: float, entry: dict) -> "SearchTrial":
+    """Rebuild a :class:`SearchTrial` from a journaled/worker entry."""
+    return SearchTrial(
+        rate=rate,
+        result=None,
+        verdict=SustainabilityVerdict(
+            sustainable=bool(entry["sustainable"]),
+            reasons=list(entry["reasons"]),
+        ),
+        cached=entry,
+    )
+
+
 @dataclass
 class SearchTrial:
     rate: float
     result: Optional[TrialResult]
-    """``None`` when the trial was replayed from a resume journal (the
-    exported outcome lives in :attr:`cached` instead)."""
+    """``None`` when the trial was replayed from a resume journal or
+    probed by a scheduler worker (the exported outcome lives in
+    :attr:`cached` instead)."""
     verdict: SustainabilityVerdict
     cached: Optional[dict] = None
     """The journaled export entry this trial replayed, if any."""
@@ -144,13 +187,7 @@ class SearchTrial:
         if self.cached is not None:
             return self.cached
         assert self.result is not None
-        return {
-            "rate": self.rate,
-            "sustainable": self.verdict.sustainable,
-            "reasons": list(self.verdict.reasons),
-            "mean_ingest_rate": self.result.mean_ingest_rate,
-            "event_latency": self.result.event_latency.to_dict(),
-        }
+        return _export_entry(self.rate, self.verdict, self.result)
 
 
 @dataclass
@@ -208,6 +245,8 @@ def find_sustainable_throughput(
     max_trials: int = 12,
     run: Callable[[ExperimentSpec], TrialResult] = run_experiment,
     journal: Optional[TrialJournal] = None,
+    workers: int = 1,
+    watchdog: Optional[WatchdogSpec] = None,
 ) -> SustainableSearchResult:
     """Find the highest sustainable constant rate for ``spec``.
 
@@ -224,34 +263,53 @@ def find_sustainable_throughput(
     the bisection re-derives the same rates in the same order, so an
     interrupted search resumes exactly where it died and its final
     report is byte-identical to an uninterrupted run.
+
+    With ``workers > 1`` the search evaluates bisection probes
+    *speculatively* in parallel (see :func:`_speculative_rates`): each
+    wave runs the rate the serial walk needs next plus the rates it
+    could need after it, over a :class:`~repro.sched.TrialScheduler`
+    process pool.  Speculation only changes which probes run and when;
+    the reported trial ladder, probed rates, and final report are
+    byte-identical to the serial search.  The parallel path requires
+    the default runner (pass ``watchdog=`` instead of wrapping ``run``).
     """
     if high_rate <= low_rate:
         raise ValueError(
             f"need high_rate > low_rate, got ({low_rate}, {high_rate})"
         )
+    if watchdog is not None:
+        if run is not run_experiment:
+            raise ValueError(
+                "pass either a custom run callable or watchdog=, not both"
+            )
+        if workers <= 1:
+            run = runner_for(watchdog)
+    if workers > 1:
+        if run is not run_experiment:
+            raise ValueError(
+                "workers > 1 requires the default run_experiment runner "
+                "(trial bodies must be picklable); pass watchdog= for "
+                "retry behaviour"
+            )
+        return _parallel_search(
+            spec, high_rate, low_rate, rel_tol, criteria, max_trials,
+            journal, workers, watchdog,
+        )
     trials: List[SearchTrial] = []
 
     def probe(rate: float) -> SustainabilityVerdict:
-        key = f"rate={rate!r}"
         if journal is not None:
-            entry = journal.get(key)
-            if entry is not None:
-                verdict = SustainabilityVerdict(
-                    sustainable=bool(entry["sustainable"]),
-                    reasons=list(entry["reasons"]),
-                )
-                trials.append(
-                    SearchTrial(
-                        rate=rate, result=None, verdict=verdict, cached=entry
-                    )
-                )
-                return verdict
+            entry = journal.get(probe_key(rate), MISSING)
+            if entry is not MISSING:
+                trial = _trial_from_entry(rate, entry)
+                trials.append(trial)
+                return trial.verdict
         result = run(spec.with_rate(rate))
         verdict = assess(result, criteria)
         trial = SearchTrial(rate=rate, result=result, verdict=verdict)
         trials.append(trial)
         if journal is not None:
-            journal.record(key, trial.export_entry())
+            journal.record(probe_key(rate), trial.export_entry())
         return verdict
 
     if probe(high_rate).sustainable:
@@ -273,6 +331,201 @@ def find_sustainable_throughput(
     # result.  NaN marks "not found" honestly.
     rate = lo if floor_sustained else float("nan")
     return SustainableSearchResult(sustainable_rate=rate, trials=trials)
+
+
+# -- parallel (speculative) bisection ---------------------------------------
+
+
+@dataclass
+class _Walk:
+    """One replay of the serial bisection over a cache of entries."""
+
+    trials: List[Tuple[float, dict]]
+    done: bool
+    rate: float = float("nan")
+    bracket: Optional[Tuple[float, float]] = None
+    """Bracket whose midpoint needs a live probe (``None``: the root
+    ``high_rate`` probe itself is missing)."""
+
+
+def _replay_walk(
+    cache: dict,
+    high_rate: float,
+    low_rate: float,
+    rel_tol: float,
+    max_trials: int,
+) -> _Walk:
+    """Re-run the exact serial bisection against cached entries.
+
+    Stops at the first probe the cache cannot answer.  Because this is
+    the verbatim serial control flow, the trials it assembles -- rates,
+    order, and count -- are exactly the serial search's.
+    """
+    trials: List[Tuple[float, dict]] = []
+    entry = cache.get(probe_key(high_rate))
+    if entry is None:
+        return _Walk(trials=trials, done=False, bracket=None)
+    trials.append((high_rate, entry))
+    if entry["sustainable"]:
+        return _Walk(trials=trials, done=True, rate=high_rate)
+    lo, hi = low_rate, high_rate
+    floor_sustained = False
+    while len(trials) < max_trials and (hi - lo) > rel_tol * hi:
+        mid = (lo + hi) / 2.0
+        entry = cache.get(probe_key(mid))
+        if entry is None:
+            return _Walk(trials=trials, done=False, bracket=(lo, hi))
+        trials.append((mid, entry))
+        if entry["sustainable"]:
+            lo = mid
+            floor_sustained = True
+        else:
+            hi = mid
+    return _Walk(
+        trials=trials,
+        done=True,
+        rate=lo if floor_sustained else float("nan"),
+    )
+
+
+def _speculative_rates(
+    lo: float,
+    hi: float,
+    trial_count: int,
+    rel_tol: float,
+    max_trials: int,
+    budget: int,
+) -> List[float]:
+    """Breadth-first frontier of the bisection tree under ``(lo, hi)``.
+
+    The serial walk's next probe is the bracket midpoint; depending on
+    its verdict the walk recurses into ``(mid, hi)`` (sustained) or
+    ``(lo, mid)`` (not).  Enumerating that binary tree breadth-first
+    yields every rate the serial search *could* probe next, nearest
+    first -- evaluating the first ``budget`` of them keeps a worker
+    pool busy while guaranteeing the true path is always among them.
+    Branches that would terminate the serial loop (bracket within
+    ``rel_tol``, trial budget exhausted) are pruned exactly as the
+    serial loop would.
+    """
+    out: List[float] = []
+    frontier = [(lo, hi, trial_count)]
+    while frontier and len(out) < budget:
+        lo_, hi_, count = frontier.pop(0)
+        if count >= max_trials or (hi_ - lo_) <= rel_tol * hi_:
+            continue
+        mid = (lo_ + hi_) / 2.0
+        out.append(mid)
+        frontier.append((mid, hi_, count + 1))
+        frontier.append((lo_, mid, count + 1))
+    return out
+
+
+def _parallel_search(
+    spec: ExperimentSpec,
+    high_rate: float,
+    low_rate: float,
+    rel_tol: float,
+    criteria: SustainabilityCriteria,
+    max_trials: int,
+    journal: Optional[TrialJournal],
+    workers: int,
+    watchdog: Optional[WatchdogSpec],
+) -> SustainableSearchResult:
+    """Speculative bisection over a scheduler pool (see caller)."""
+    scheduler = TrialScheduler(workers=workers, journal=journal)
+    cache: dict = {}
+    while True:
+        walk = _replay_walk(cache, high_rate, low_rate, rel_tol, max_trials)
+        if walk.done:
+            break
+        if walk.bracket is None:
+            # Root wave: the ceiling probe plus, speculatively, the
+            # bisection frontier it opens if it proves unsustainable.
+            rates = [high_rate] + _speculative_rates(
+                low_rate, high_rate, 1, rel_tol, max_trials, workers - 1
+            )
+        else:
+            lo, hi = walk.bracket
+            rates = _speculative_rates(
+                lo, hi, len(walk.trials), rel_tol, max_trials, workers
+            )
+        batch = [
+            TrialTask(
+                key=probe_key(rate),
+                fn=_probe_task,
+                payload=(spec, rate, criteria, watchdog),
+            )
+            for rate in rates
+            if probe_key(rate) not in cache
+        ]
+        # The walk stopped on an uncached probe, and that probe leads
+        # every frontier, so each wave strictly extends the cache along
+        # the true path -- the loop always terminates.
+        cache.update(scheduler.run(batch))
+    return SustainableSearchResult(
+        sustainable_rate=walk.rate,
+        trials=[_trial_from_entry(rate, entry) for rate, entry in walk.trials],
+    )
+
+
+def _sweep_cell_task(payload) -> dict:
+    """Scheduler worker body: one full (serial) search for one cell."""
+    spec, high_rate, low_rate, rel_tol, criteria, max_trials, watchdog = payload
+    search = find_sustainable_throughput(
+        spec,
+        high_rate=high_rate,
+        low_rate=low_rate,
+        rel_tol=rel_tol,
+        criteria=criteria,
+        max_trials=max_trials,
+        watchdog=watchdog,
+    )
+    rate = search.sustainable_rate
+    return {
+        "sustainable_rate": None if rate != rate else float(rate),
+        "trial_count": search.trial_count,
+    }
+
+
+def sweep_sustainable_rates(
+    cells,
+    high_rate: float,
+    low_rate: float = 0.0,
+    rel_tol: float = 0.05,
+    criteria: SustainabilityCriteria = SustainabilityCriteria(),
+    max_trials: int = 12,
+    workers: int = 1,
+    watchdog: Optional[WatchdogSpec] = None,
+) -> "dict[str, float]":
+    """Sustainable-throughput searches for many independent cells.
+
+    ``cells`` is a sequence of ``(key, spec)`` pairs (e.g. one per
+    (engine, cluster-size) corner of a Table-I sweep).  Each cell runs
+    one full bisection search; with ``workers > 1`` whole cells fan out
+    over the scheduler pool -- coarser-grained than per-probe
+    speculation and perfectly parallel, which is why the benchmark
+    suite and ``repro sweep`` parallelise at this level.  Results map
+    ``key -> sustainable rate`` (NaN when a cell found none) in the
+    order ``cells`` was given, regardless of completion order.
+    """
+    tasks = [
+        TrialTask(
+            key=key,
+            fn=_sweep_cell_task,
+            payload=(
+                spec, high_rate, low_rate, rel_tol, criteria, max_trials,
+                watchdog,
+            ),
+        )
+        for key, spec in cells
+    ]
+    results = TrialScheduler(workers=workers).run(tasks)
+    out = {}
+    for key, _spec in cells:
+        rate = results[key]["sustainable_rate"]
+        out[key] = float("nan") if rate is None else float(rate)
+    return out
 
 
 @dataclass
@@ -353,6 +606,8 @@ def find_sustainable_throughput_under_faults(
     max_recovery_time_s: float = 60.0,
     max_trials: int = 12,
     run: Callable[[ExperimentSpec], TrialResult] = run_experiment,
+    workers: int = 1,
+    watchdog: Optional[WatchdogSpec] = None,
 ) -> SustainableSearchResult:
     """Sustainable throughput *while surviving the fault schedule*.
 
@@ -380,4 +635,6 @@ def find_sustainable_throughput_under_faults(
         criteria=base,
         max_trials=max_trials,
         run=run,
+        workers=workers,
+        watchdog=watchdog,
     )

@@ -18,8 +18,17 @@ search bracket, criteria); resuming against a journal whose fingerprint
 differs raises :class:`JournalMismatch` -- silently mixing trials from
 a different experiment would fabricate results.
 
-Writes are atomic (temp file + rename), so a crash mid-write leaves the
-previous consistent journal on disk.
+Writes are atomic (per-process temp file + fsync + rename, then a
+directory fsync), so a crash mid-write leaves the previous consistent
+journal on disk even when several processes write journals side by
+side.
+
+Sharding (the parallel trial scheduler, :mod:`repro.sched`): each
+worker process journals into its own shard file next to the parent
+journal (``<name>.shard-w<k>``) under the same fingerprint, and the
+parent folds shards back with :meth:`TrialJournal.merge_shards`.
+Resuming merges any leftover shards from a killed run automatically,
+so a dead worker costs only its in-flight trial.
 """
 
 from __future__ import annotations
@@ -27,13 +36,25 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 _FORMAT = "repro-trial-journal-v1"
+
+#: Sentinel default for :meth:`TrialJournal.get` letting callers
+#: distinguish "key absent" from a journaled ``None`` outcome.
+MISSING = object()
 
 
 class JournalMismatch(ValueError):
     """The journal on disk belongs to a different experiment."""
+
+
+def shard_path(
+    path: Union[str, pathlib.Path], worker_index: int
+) -> pathlib.Path:
+    """The journal shard a scheduler worker writes, next to ``path``."""
+    path = pathlib.Path(path)
+    return path.with_name(f"{path.name}.shard-w{int(worker_index)}")
 
 
 class TrialJournal:
@@ -70,17 +91,38 @@ class TrialJournal:
                     f"experiment:\n  journal: {found}\n  current: {fingerprint}"
                 )
             self._entries = dict(payload.get("entries", {}))
+            # A run killed mid-parallel leaves worker shards holding
+            # trials whose completion never reached the parent journal;
+            # fold them in so --resume replays *everything* completed.
+            self.merge_shards()
+        else:
+            # A fresh (non-resume) journal starts a new experiment:
+            # shards left behind by an unrelated previous run must not
+            # leak into this run's end-of-pool merge.
+            for stale in self.shard_paths():
+                stale.unlink()
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: str) -> Optional[Any]:
-        """The journaled outcome for ``key``, or None (counts hit/miss)."""
-        entry = self._entries.get(key)
-        if entry is None:
+    def __contains__(self, key: str) -> bool:
+        """Membership without touching the hit/miss counters."""
+        return key in self._entries
+
+    def get(self, key: str, default: Any = None) -> Optional[Any]:
+        """The journaled outcome for ``key``, or ``default`` (counts
+        hit/miss).
+
+        A journaled ``None`` (a trial that legitimately exported a null
+        outcome) is a *hit* and is returned as ``None``; pass the
+        module-level :data:`MISSING` sentinel as ``default`` (or test
+        ``key in journal`` first) to tell it apart from a miss.
+        """
+        entry = self._entries.get(key, MISSING)
+        if entry is MISSING:
             self.misses += 1
-        else:
-            self.hits += 1
+            return default
+        self.hits += 1
         return entry
 
     def record(self, key: str, entry: Any) -> None:
@@ -95,9 +137,84 @@ class TrialJournal:
             "entries": self._entries,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        # Per-process temp name: concurrent writers (scheduler parent
+        # plus worker shards in the same directory) must never clobber
+        # each other's half-written temp file.
+        tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            handle.flush()
+            # Without the fsync, a crash after os.replace can still
+            # surface a zero-length "journal" once the page cache is
+            # lost -- the atomicity claim needs the data durable first.
+            os.fsync(handle.fileno())
         os.replace(tmp, self.path)
+        self._fsync_directory()
+
+    def _fsync_directory(self) -> None:
+        """Make the rename itself durable (best effort off-POSIX)."""
+        try:
+            dir_fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-specific
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:  # pragma: no cover - platform-specific
+            pass
+        finally:
+            os.close(dir_fd)
+
+    # -- shard protocol (parallel scheduler) ---------------------------------
+
+    def shard_paths(self) -> List[pathlib.Path]:
+        """Worker shards currently on disk next to this journal."""
+        if not self.path.parent.exists():
+            return []
+        return sorted(self.path.parent.glob(self.path.name + ".shard-*"))
+
+    def absorb(self, path: Union[str, pathlib.Path]) -> int:
+        """Fold another journal file's entries into this one (in
+        memory; the caller flushes).  The shard must carry the same
+        fingerprint -- mixing experiments would fabricate results.
+        Existing keys win: per-trial outcomes are deterministic, so a
+        duplicate key is the same digest recorded twice.  Returns the
+        number of new entries."""
+        payload = json.loads(pathlib.Path(path).read_text())
+        if payload.get("format") != _FORMAT:
+            raise JournalMismatch(
+                f"{path} is not a trial journal "
+                f"(format {payload.get('format')!r})"
+            )
+        found = payload.get("fingerprint")
+        if found != self.fingerprint:
+            raise JournalMismatch(
+                f"shard {path} was written by a different experiment:\n"
+                f"  shard:   {found}\n  current: {self.fingerprint}"
+            )
+        added = 0
+        for key, entry in payload.get("entries", {}).items():
+            if key not in self._entries:
+                self._entries[key] = entry
+                added += 1
+        return added
+
+    def merge_shards(self, remove: bool = True) -> int:
+        """Fold every on-disk shard into this journal and (by default)
+        delete the shard files; returns the number of new entries."""
+        added = 0
+        merged_any = False
+        for shard in self.shard_paths():
+            added += self.absorb(shard)
+            merged_any = True
+            if remove:
+                shard.unlink()
+        if added:
+            self._flush()
+        elif merged_any and remove and self._entries:
+            # Shards held nothing new, but they are gone now -- make
+            # sure the parent journal holding their content is durable.
+            self._flush()
+        return added
 
     def stats(self) -> Dict[str, float]:
         return {

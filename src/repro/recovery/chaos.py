@@ -58,6 +58,7 @@ from repro.faults.schedule import (
 )
 from repro.metrology.journal import TrialJournal
 from repro.recovery.reschedule import MODE_STANDBY, ReschedulePolicy
+from repro.sched.pool import TrialScheduler, TrialTask
 from repro.workloads.queries import WindowSpec, WindowedAggregationQuery
 
 DEFAULT_ENGINES = ("flink", "storm", "spark", "heron", "samza")
@@ -545,59 +546,115 @@ def _trial_spec(
 
 def chaos_fingerprint(config: ChaosConfig) -> str:
     """Identity of a soak for journal resume: a resumed run must replay
-    trials only from a journal written by the *same* soak."""
+    trials only from a journal written by the *same* soak.  Scheduler
+    parallelism is deliberately absent -- a parallel run and a serial
+    run of the same config are the same experiment (byte-identical
+    scorecards), so their journals are interchangeable."""
     return f"chaos|{config!r}"
+
+
+def round_seed(seed: int, round_index: int) -> int:
+    """Per-round trial seed, collision-free across ``(seed, round)``.
+
+    The old ``seed * 1_000 + round_index`` arithmetic collided across
+    configs (seed=1/round=0 drew the same trials as seed=0/round=1000);
+    deriving through :class:`numpy.random.SeedSequence` spawning -- the
+    same scheme :mod:`repro.sim.rng` uses for per-component streams --
+    keys the seed on the *pair*, not their sum.
+    """
+    sequence = np.random.SeedSequence([int(seed), int(round_index)])
+    return int(sequence.generate_state(1, dtype=np.uint32)[0])
+
+
+def _cell_label(engine: str, policy_name: str, round_index: int) -> str:
+    return f"{engine}/{policy_name}/round{round_index}"
+
+
+def _chaos_cell_task(payload) -> Dict[str, object]:
+    """Scheduler worker body: one (engine, policy, round) trial cell.
+
+    The fault schedule and per-round seed are re-derived from the
+    config -- pure functions of ``(seed, round_index)`` -- so a worker
+    needs no state beyond the payload and the digest it returns is
+    bit-identical to what the serial loop would have produced.
+    """
+    config, engine, policy, round_index = payload
+    label = _cell_label(engine, policy.name, round_index)
+    rng = np.random.default_rng([config.seed, round_index])
+    schedule = random_fault_schedule(rng, config)
+    spec = _trial_spec(
+        engine, policy, schedule, config,
+        seed=round_seed(config.seed, round_index),
+    )
+    result = run_experiment(spec)
+    violations = check_invariants(result, config, label)
+    return trial_digest(result, violations)
 
 
 def run_chaos(
     config: ChaosConfig = ChaosConfig(),
     progress=None,
     journal: Optional[TrialJournal] = None,
+    workers: int = 1,
 ) -> ChaosReport:
     """Run the soak: for each round, draw one fault schedule and push it
     through every (engine, policy) cell, checking invariants on every
     trial.  ``progress`` (if given) is called with a status line per
     trial.  With a ``journal``, completed trials are persisted as
     digests and replayed on resume -- the final scorecard JSON is
-    byte-identical to an uninterrupted run."""
+    byte-identical to an uninterrupted run.
+
+    ``workers > 1`` fans the independent trial cells out over a
+    :class:`~repro.sched.TrialScheduler` process pool (``workers`` here
+    is scheduler parallelism; the simulated cluster size is
+    ``config.workers``).  Execution order changes, nothing else: cells
+    are absorbed into the scorecards in the fixed grid order, so the
+    scorecard JSON is byte-identical to the serial soak.
+    """
     scorecards: Dict[Tuple[str, str], Scorecard] = {
         (engine, policy.name): Scorecard(engine=engine, policy=policy.name)
         for engine in config.engines
         for policy in config.policies
     }
     schedules: List[str] = []
+    grid: List[Tuple[str, str, str]] = []  # (label, engine, policy name)
+    tasks: List[TrialTask] = []
     for round_index in range(config.rounds):
         rng = np.random.default_rng([config.seed, round_index])
-        schedule = random_fault_schedule(rng, config)
-        schedules.append(schedule.describe())
+        schedules.append(random_fault_schedule(rng, config).describe())
         for engine in config.engines:
             for policy in config.policies:
-                label = f"{engine}/{policy.name}/round{round_index}"
-                digest = journal.get(label) if journal is not None else None
-                if digest is None:
-                    spec = _trial_spec(
-                        engine,
-                        policy,
-                        schedule,
-                        config,
-                        seed=config.seed * 1_000 + round_index,
+                label = _cell_label(engine, policy.name, round_index)
+                grid.append((label, engine, policy.name))
+                tasks.append(
+                    TrialTask(
+                        key=label,
+                        fn=_chaos_cell_task,
+                        payload=(config, engine, policy, round_index),
                     )
-                    result = run_experiment(spec)
-                    violations = check_invariants(result, config, label)
-                    digest = trial_digest(result, violations)
-                    if journal is not None:
-                        journal.record(label, digest)
-                    replayed = ""
-                else:
-                    replayed = " (journal)"
-                scorecards[(engine, policy.name)].absorb_digest(digest)
-                if progress is not None:
-                    status = "FAILED" if digest["failed"] else "ok"
-                    count = len(digest["violations"])
-                    progress(
-                        f"{label}: {status}{replayed}"
-                        + (f" ({count} violations)" if count else "")
-                    )
+                )
+
+    def status_line(label: str, digest, replayed: str) -> str:
+        status = "FAILED" if digest["failed"] else "ok"
+        count = len(digest["violations"])
+        return f"{label}: {status}{replayed}" + (
+            f" ({count} violations)" if count else ""
+        )
+
+    on_result = on_replay = None
+    if progress is not None:
+        on_result = lambda label, digest: progress(  # noqa: E731
+            status_line(label, digest, "")
+        )
+        on_replay = lambda label, digest: progress(  # noqa: E731
+            status_line(label, digest, " (journal)")
+        )
+    scheduler = TrialScheduler(workers=workers, journal=journal)
+    digests = scheduler.run(tasks, on_result=on_result, on_replay=on_replay)
+    # Absorb in fixed grid order: float accumulation in the scorecards
+    # is order-sensitive, so completion order must never leak in.
+    for label, engine, policy_name in grid:
+        scorecards[(engine, policy_name)].absorb_digest(digests[label])
     return ChaosReport(
         config=config, schedules=schedules, scorecards=scorecards
     )

@@ -1,0 +1,30 @@
+"""repro.sched -- the parallel trial scheduler.
+
+Every multi-trial orchestration in the repo (the sustainable-throughput
+bisection, the chaos soak grid, the benchmark-suite searches) is a set
+of independent, seeded, deterministic trials.  This package fans those
+trial cells out over a pool of worker processes:
+
+- :class:`~repro.sched.pool.TrialScheduler` -- a work-stealing process
+  pool: idle workers pull (steal) the next unclaimed cell from the
+  parent's bag on demand, so heterogeneous trial costs balance
+  automatically and the parent always knows which cell a dead worker
+  took with it.
+- :class:`~repro.sched.pool.TrialTask` -- one keyed trial cell: a
+  picklable module-level runner function plus its payload, returning a
+  JSON-safe digest.
+- Crash-safe journaling: each worker writes its own
+  :class:`~repro.metrology.journal.TrialJournal` shard under the parent
+  journal's fingerprint; the parent folds completed digests into the
+  main journal as they arrive and merges leftover shards on resume, so
+  a killed worker (or a killed run) costs only in-flight trials.
+
+The scheduler only reorders *execution*.  Per-trial seeds, journal
+keys, and the deterministic order in which callers absorb results are
+all derived before fan-out, so a parallel run's final report is
+byte-identical to the serial run's (pinned by tests and a CI ``cmp``).
+"""
+
+from repro.sched.pool import TaskFailed, TrialScheduler, TrialTask
+
+__all__ = ["TaskFailed", "TrialScheduler", "TrialTask"]

@@ -205,6 +205,39 @@ class TestCliExecution:
         assert "flink/standby" in payload["scorecards"]
         assert payload["violations"] == []
 
+    def test_chaos_parallel_matches_serial_output(self, capsys, tmp_path):
+        # The CLI surface of the scheduler invariant: --workers N only
+        # changes wall-clock, never a byte of the scorecard.
+        base = [
+            "chaos",
+            "--seed", "2",
+            "--rounds", "1",
+            "--engines", "flink",
+            "--duration", "30",
+            "--rate", "20000",
+        ]
+        serial, parallel = tmp_path / "serial.json", tmp_path / "par.json"
+        assert self.run_cli(base + ["--output", str(serial)]) == 0
+        assert (
+            self.run_cli(base + ["--workers", "3", "--output", str(parallel)])
+            == 0
+        )
+        capsys.readouterr()
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_search_jobs_conflicts_with_online(self, capsys):
+        code = self.run_cli(
+            [
+                "search",
+                "--engine", "flink",
+                "--high-rate", "20000",
+                "--online",
+                "--jobs", "2",
+            ]
+        )
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err
+
     def test_run_failure_exit_code(self, capsys):
         # Grossly overloaded with a tiny queue: the trial fails and the
         # CLI signals it through the exit code.

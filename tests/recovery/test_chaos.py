@@ -4,9 +4,12 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.faults.schedule import FaultSchedule
 from repro.metrology import TrialJournal
+from repro.metrology.journal import shard_path
 from repro.recovery.chaos import (
     DEFAULT_POLICIES,
     ChaosConfig,
@@ -14,6 +17,7 @@ from repro.recovery.chaos import (
     chaos_fingerprint,
     check_invariants,
     random_fault_schedule,
+    round_seed,
     run_chaos,
 )
 
@@ -158,6 +162,128 @@ class TestSoak:
         )
         resumed = run_chaos(SMALL, journal=resumed_journal)
         assert resumed_journal.hits == 2
+        assert resumed.to_json() == report.to_json()
+
+    def test_parallel_soak_is_byte_identical(self, report):
+        # The acceptance bar for the trial scheduler: fanning the grid
+        # over worker processes must not move a single scorecard byte.
+        parallel = run_chaos(SMALL, workers=3)
+        assert parallel.to_json() == report.to_json()
+
+    def test_crash_aftermath_shards_resume_byte_identical(
+        self, report, tmp_path
+    ):
+        # Reconstruct the on-disk state of a parallel run whose parent
+        # was killed: the parent journal holds a prefix of the grid,
+        # one worker shard holds digests whose "done" message never
+        # arrived.  --resume must replay both and only run the rest.
+        fingerprint = chaos_fingerprint(SMALL)
+        full_path = tmp_path / "full.json"
+        run_chaos(
+            SMALL, journal=TrialJournal(full_path, fingerprint=fingerprint)
+        )
+        entries = json.loads(full_path.read_text())["entries"]
+        assert len(entries) == 6  # 1 engine x 3 policies x 2 rounds
+        keys = sorted(entries)
+
+        path = tmp_path / "crashed.json"
+        parent = TrialJournal(path, fingerprint=fingerprint)
+        for key in keys[:2]:
+            parent.record(key, entries[key])
+        shard = TrialJournal(shard_path(path, 1), fingerprint=fingerprint)
+        shard.record(keys[2], entries[keys[2]])
+
+        resumed_journal = TrialJournal(
+            path, fingerprint=fingerprint, resume=True
+        )
+        resumed = run_chaos(SMALL, journal=resumed_journal)
+        assert resumed_journal.hits == 3
+        assert resumed_journal.misses == 3
+        assert resumed.to_json() == report.to_json()
+
+
+class TestRoundSeeds:
+    def test_seed_round_pairs_do_not_collide(self):
+        # Regression: seed * 1000 + round made (seed=1, round=0) and
+        # (seed=0, round=1000) draw identical trials.
+        assert round_seed(1, 0) != round_seed(0, 1_000)
+
+    def test_distinct_across_a_dense_grid(self):
+        grid = {
+            round_seed(seed, round_index)
+            for seed in range(20)
+            for round_index in range(20)
+        }
+        assert len(grid) == 400
+
+    def test_deterministic(self):
+        assert round_seed(3, 7) == round_seed(3, 7)
+
+
+class TestShardMergeProperty:
+    """Merge order must never leak into the final scorecard."""
+
+    @pytest.fixture(scope="class")
+    def soak(self):
+        report = run_chaos(SMALL)
+        fingerprint = chaos_fingerprint(SMALL)
+        # One full pass to harvest every cell digest.
+        import tempfile, pathlib  # noqa: E401
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "j.json"
+            run_chaos(
+                SMALL, journal=TrialJournal(path, fingerprint=fingerprint)
+            )
+            entries = json.loads(path.read_text())["entries"]
+        return report, fingerprint, entries
+
+    @given(data=st.data())
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_any_shard_partition_replays_byte_identical(
+        self, soak, tmp_path_factory, data
+    ):
+        # Scatter the digests over a random number of shards (plus an
+        # arbitrary parent prefix) in a random order; the resumed soak
+        # must reproduce the uninterrupted report byte for byte.
+        report, fingerprint, entries = soak
+        keys = data.draw(st.permutations(sorted(entries)))
+        shard_count = data.draw(st.integers(min_value=1, max_value=4))
+        owners = [
+            data.draw(
+                st.integers(min_value=0, max_value=shard_count),
+                label=f"owner[{key}]",
+            )
+            for key in keys
+        ]
+        tmp_path = tmp_path_factory.mktemp("shards")
+        path = tmp_path / "j.json"
+        parent = TrialJournal(path, fingerprint=fingerprint)
+        # The parent journal file must exist for --resume; the first
+        # key always lands there (a parent that recorded nothing is
+        # simply a fresh run, not a resume).
+        parent.record(keys[0], entries[keys[0]])
+        shards = {}
+        for key, owner in zip(keys[1:], owners[1:]):
+            if owner == 0:
+                parent.record(key, entries[key])
+            else:
+                if owner not in shards:
+                    shards[owner] = TrialJournal(
+                        shard_path(path, owner), fingerprint=fingerprint
+                    )
+                shards[owner].record(key, entries[key])
+
+        resumed_journal = TrialJournal(
+            path, fingerprint=fingerprint, resume=True
+        )
+        resumed = run_chaos(SMALL, journal=resumed_journal)
+        assert resumed_journal.hits == len(entries)
+        assert resumed_journal.misses == 0
         assert resumed.to_json() == report.to_json()
 
 

@@ -1,0 +1,43 @@
+"""Module-level task bodies for scheduler tests.
+
+Worker processes pickle task functions *by reference*, so anything a
+:class:`~repro.sched.TrialTask` runs must live at module scope --
+lambdas and closures defined inside a test would not survive the trip.
+"""
+
+import os
+import pathlib
+import signal
+import time
+
+
+def double(payload):
+    return payload * 2
+
+
+def slow_double(payload):
+    time.sleep(0.05)
+    return payload * 2
+
+
+def boom(payload):
+    raise RuntimeError(f"task exploded on purpose: {payload!r}")
+
+
+def forbidden(payload):
+    raise AssertionError("this task must have been replayed, not run")
+
+
+def crash_worker_once(payload):
+    """SIGKILL the hosting worker the first time any task runs this.
+
+    ``payload`` is ``(marker_path, value)``: the marker file makes the
+    kill one-shot, so the re-enqueued cell (and every later cell)
+    completes on a surviving worker instead of wiping out the pool.
+    """
+    marker_path, value = payload
+    marker = pathlib.Path(marker_path)
+    if not marker.exists():
+        marker.write_text("killed once")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
