@@ -51,6 +51,8 @@ def trial_to_dict(
     }
     if result.recovery is not None:
         payload["recovery"] = [m.to_dict() for m in result.recovery]
+    if result.autoscale is not None:
+        payload["autoscale"] = [m.to_dict() for m in result.autoscale]
     if result.attempts is not None:
         payload["attempts"] = [a.to_dict() for a in result.attempts]
     if result.observability is not None:

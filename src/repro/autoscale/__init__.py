@@ -1,0 +1,52 @@
+"""Elastic autoscaling: policies, per-engine rescale mechanics, and
+time-to-resustain metrology.
+
+Import surface is deliberately cycle-free: :mod:`repro.engines.base`
+imports :class:`RescaleSemantics` from here, so this package must never
+import the engines (the scorecard, which needs the whole experiment
+stack, is imported explicitly as :mod:`repro.autoscale.scorecard`).
+"""
+
+from repro.autoscale.metrics import (
+    RescaleMetrics,
+    compute_rescale_metrics,
+    rescale_timeline_events,
+)
+from repro.autoscale.policy import (
+    POLICY_NAMES,
+    AutoscaleSpec,
+    ScalingDecision,
+    ScalingPolicy,
+    ScalingSignals,
+    TargetUtilizationPolicy,
+    ThresholdPolicy,
+)
+from repro.autoscale.rescale import (
+    RESCALE_STYLES,
+    STYLE_MICRO_BATCH,
+    STYLE_REBALANCE,
+    STYLE_REPARTITION,
+    STYLE_SAVEPOINT,
+    Autoscaler,
+    RescaleSemantics,
+)
+
+__all__ = [
+    "AutoscaleSpec",
+    "Autoscaler",
+    "POLICY_NAMES",
+    "RESCALE_STYLES",
+    "RescaleMetrics",
+    "RescaleSemantics",
+    "STYLE_MICRO_BATCH",
+    "STYLE_REBALANCE",
+    "STYLE_REPARTITION",
+    "STYLE_SAVEPOINT",
+    "ScalingDecision",
+    "ScalingPolicy",
+    "ScalingSignals",
+    "TargetUtilizationPolicy",
+    "ThresholdPolicy",
+    "compute_rescale_metrics",
+    "rescale_timeline_events",
+]

@@ -8,6 +8,14 @@ Commands mirror the framework's workflow:
 - ``engines`` -- list registered engines and their cost models.
 - ``chaos``   -- seeded chaos soak: randomized fault schedules over
   engines x recovery policies with invariant checks and a scorecard.
+- ``autoscale`` -- cross-engine elasticity scorecard: engines x scaling
+  policies x diurnal/flash-crowd workloads, with time-to-resustain
+  metrology and node-second cost accounting.
+
+Elastic autoscaling (PR 7) rides on ``run`` via ``--autoscale POLICY``
+(with ``--min-nodes`` / ``--max-nodes`` / ``--cooldown``): a policy
+watches the obs-registry signals and scales the simulated cluster
+out/in mid-trial, paying each engine's rescale semantics.
 
 Fault benchmarking rides on ``run`` and ``search`` via repeatable
 ``--fault KIND@T[:DURATION]`` options (e.g. ``--fault crash@60
@@ -54,6 +62,7 @@ from repro.analysis.export import (
     trial_to_dict,
     write_json,
 )
+from repro.autoscale.policy import POLICY_NAMES, AutoscaleSpec
 from repro.core.experiment import ExperimentSpec, runner_for
 from repro.core.generator import GeneratorConfig
 from repro.core.report import throughput_table
@@ -301,6 +310,25 @@ def build_degradation(args: argparse.Namespace):
     )
 
 
+def build_autoscale(args: argparse.Namespace) -> Optional[AutoscaleSpec]:
+    policy = getattr(args, "autoscale", None)
+    if policy is None:
+        for flag in ("min_nodes", "max_nodes", "cooldown"):
+            if getattr(args, flag, None) is not None:
+                raise ValueError(
+                    f"--{flag.replace('_', '-')} requires --autoscale POLICY"
+                )
+        return None
+    kwargs = {"policy": policy}
+    if getattr(args, "min_nodes", None) is not None:
+        kwargs["min_workers"] = args.min_nodes
+    if getattr(args, "max_nodes", None) is not None:
+        kwargs["max_workers"] = args.max_nodes
+    if getattr(args, "cooldown", None) is not None:
+        kwargs["cooldown_s"] = args.cooldown
+    return AutoscaleSpec(**kwargs)
+
+
 def build_spec(args: argparse.Namespace, rate: Optional[float] = None):
     return ExperimentSpec(
         engine=args.engine,
@@ -318,6 +346,7 @@ def build_spec(args: argparse.Namespace, rate: Optional[float] = None):
         reschedule=build_reschedule(args),
         degradation=build_degradation(args),
         clock_skew=build_clock_skew(args),
+        autoscale=build_autoscale(args),
     )
 
 
@@ -473,6 +502,30 @@ def add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--retry-backoff", type=float, default=0.1, metavar="SECONDS",
         help="base backoff before the first retry (default: 0.1)",
     )
+    parser.add_argument(
+        "--autoscale", choices=list(POLICY_NAMES), default=None,
+        metavar="POLICY",
+        help=(
+            "scale the cluster out/in mid-trial with this policy "
+            "(threshold or target), driven by obs-registry signals; "
+            "enables metrics sampling automatically"
+        ),
+    )
+    parser.add_argument(
+        "--min-nodes", type=int, default=None, metavar="N",
+        help="with --autoscale: scale-in floor (default: 1)",
+    )
+    parser.add_argument(
+        "--max-nodes", type=int, default=None, metavar="N",
+        help="with --autoscale: scale-out ceiling (default: 16)",
+    )
+    parser.add_argument(
+        "--cooldown", type=float, default=None, metavar="SECONDS",
+        help=(
+            "with --autoscale: minimum simulated time between scaling "
+            "decisions (default: 20)"
+        ),
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -497,6 +550,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("  fault recovery:")
         for fault in result.recovery:
             print(f"    {fault.describe()}")
+    if result.autoscale:
+        cost = result.diagnostics.get("autoscale.cost_node_seconds", 0.0)
+        print(f"  autoscale ({cost:.0f} node-seconds billed):")
+        for event in result.autoscale:
+            print(f"    {event.describe()}")
     if result.observability is not None:
         from repro.analysis.ascii_plots import render_obs_dashboard
 
@@ -659,6 +717,49 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         raise ValueError(f"--workers must be >= 1, got {args.workers}")
     progress = print if args.verbose else None
     report = run_chaos(
+        config, progress=progress, journal=journal, workers=args.workers
+    )
+    if journal is not None:
+        print(
+            f"journal: {journal.hits} replayed, {journal.misses} run live"
+        )
+    print(report.render())
+    if args.output:
+        path = write_json(report.to_dict(), args.output)
+        print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
+def cmd_autoscale(args: argparse.Namespace) -> int:
+    from repro.autoscale.scorecard import (
+        ElasticityConfig,
+        elasticity_fingerprint,
+        run_elasticity,
+    )
+
+    if args.resume and not args.journal:
+        raise ValueError("--resume requires --journal PATH")
+    config = ElasticityConfig(
+        seed=args.seed,
+        engines=tuple(args.engines),
+        policies=tuple(args.policies),
+        duration_s=args.duration,
+        workers=args.sut_workers,
+        min_workers=args.min_nodes if args.min_nodes is not None else 1,
+        max_workers=args.max_nodes if args.max_nodes is not None else 6,
+        cooldown_s=args.cooldown if args.cooldown is not None else 12.0,
+    )
+    journal = None
+    if args.journal:
+        journal = TrialJournal(
+            args.journal,
+            fingerprint=elasticity_fingerprint(config),
+            resume=args.resume,
+        )
+    if args.workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {args.workers}")
+    progress = print if args.verbose else None
+    report = run_elasticity(
         config, progress=progress, journal=journal, workers=args.workers
     )
     if journal is not None:
@@ -841,6 +942,72 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    autoscale_parser = sub.add_parser(
+        "autoscale",
+        help=(
+            "cross-engine elasticity scorecard: engines x scaling "
+            "policies x diurnal/flash-crowd workloads (exit 1 on any "
+            "invariant violation)"
+        ),
+    )
+    autoscale_parser.add_argument("--seed", type=int, default=0)
+    autoscale_parser.add_argument(
+        "--engines", nargs="+", choices=sorted(ENGINES),
+        default=sorted(ENGINES),
+    )
+    autoscale_parser.add_argument(
+        "--policies", nargs="+", choices=list(POLICY_NAMES),
+        default=list(POLICY_NAMES),
+        help="scaling policies to compare (default: both)",
+    )
+    autoscale_parser.add_argument(
+        "--duration", type=float, default=120.0,
+        help="simulated seconds per trial (default: 120)",
+    )
+    autoscale_parser.add_argument(
+        "--sut-workers", type=int, default=1,
+        help="initial simulated cluster size per trial (default: 1)",
+    )
+    autoscale_parser.add_argument(
+        "--min-nodes", type=int, default=None, metavar="N",
+        help="scale-in floor (default: 1)",
+    )
+    autoscale_parser.add_argument(
+        "--max-nodes", type=int, default=None, metavar="N",
+        help="scale-out ceiling (default: 6)",
+    )
+    autoscale_parser.add_argument(
+        "--cooldown", type=float, default=None, metavar="SECONDS",
+        help="minimum simulated time between decisions (default: 12)",
+    )
+    autoscale_parser.add_argument(
+        "--workers", type=int, default=1,
+        help=(
+            "scheduler parallelism: fan grid cells over N worker "
+            "processes (scorecard stays byte-identical to --workers 1)"
+        ),
+    )
+    autoscale_parser.add_argument(
+        "--verbose", action="store_true",
+        help="print a status line per cell",
+    )
+    autoscale_parser.add_argument(
+        "--output", type=str, default=None,
+        help="write the scorecard report as JSON to this path",
+    )
+    autoscale_parser.add_argument(
+        "--journal", type=str, default=None, metavar="PATH",
+        help="checkpoint each completed cell digest to this JSON journal",
+    )
+    autoscale_parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "replay completed cells from --journal instead of "
+            "re-running them (byte-identical final scorecard)"
+        ),
+    )
+    autoscale_parser.set_defaults(func=cmd_autoscale)
     return parser
 
 

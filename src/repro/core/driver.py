@@ -30,6 +30,7 @@ from repro.core.generator import (
     GeneratorConfig,
     build_generator_fleet,
 )
+from repro.autoscale.metrics import RescaleMetrics
 from repro.core.latency import EVENT_TIME, PROCESSING_TIME, LatencyCollector
 from repro.core.metrics import StatSummary
 from repro.core.queues import QueueSet
@@ -88,6 +89,10 @@ class TrialResult:
     attempts: Optional[List[AttemptRecord]] = None
     """Per-attempt history when the trial ran under the watchdog retry
     runner (``None`` for unwatched trials)."""
+    autoscale: Optional[List["RescaleMetrics"]] = None
+    """Per-scaling-event time-to-resustain metrology (populated when the
+    trial ran with an :class:`~repro.autoscale.policy.AutoscaleSpec`;
+    ``None`` for fixed-size trials)."""
 
     @property
     def failed(self) -> bool:
@@ -198,6 +203,12 @@ class BenchmarkDriver:
             lambda: self.queues.max_oldest_wait(self.sim.now)
         )
         registry.gauge("driver.watermark_lag_s").bind(self._watermark_lag)
+        registry.gauge("driver.offered_rate").bind(
+            lambda: sum(
+                g.profile.rate_at(self.sim.now) * g.share
+                for g in self.generators
+            )
+        )
         registry.gauge("sink.emitted_weight").bind(
             lambda: self.sink.emitted_weight
         )

@@ -15,6 +15,12 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Union
 
+from repro.autoscale.metrics import (
+    compute_rescale_metrics,
+    rescale_timeline_events,
+)
+from repro.autoscale.policy import AutoscaleSpec
+from repro.autoscale.rescale import Autoscaler
 from repro.core.broker import BrokerSpec, BrokerStage
 from repro.core.driver import BenchmarkDriver, TrialResult
 from repro.core.generator import GeneratorConfig, build_generator_fleet
@@ -103,6 +109,11 @@ class ExperimentSpec:
     :mod:`repro.metrology.skew`).  ``None`` keeps the paper's implicit
     perfect-clock assumption.  SUT dynamics are identical either way --
     only the reported latencies (and the exported error bound) change."""
+    autoscale: Optional[AutoscaleSpec] = None
+    """Elastic scaling: a policy + bounds driving scale-out/scale-in
+    from obs-registry signals (see :mod:`repro.autoscale`).  Requires
+    metrics sampling; when :attr:`observability` is ``None`` a
+    metrics-only ObsSpec is enabled automatically."""
 
     def resolved_faults(self) -> Optional[FaultSchedule]:
         """The effective fault schedule: ``faults``, or ``node_failure``
@@ -168,7 +179,12 @@ def run_experiment(
         else None
     )
     profile = spec.rate_profile()
-    obs = ObsContext.build(sim, spec.observability)
+    observability = spec.observability
+    if spec.autoscale is not None and observability is None:
+        # The autoscaler reads obs-registry samples; a trial that asks
+        # for it without tracing gets metrics-only observability.
+        observability = ObsSpec()
+    obs = ObsContext.build(sim, observability)
     generators = build_generator_fleet(
         sim=sim,
         profile=profile,
@@ -252,6 +268,11 @@ def run_experiment(
         for event in faults.ordered():
             if event.driver_side:
                 sim.schedule_at(event.at_s, driver.inject_fault, event)
+    autoscaler = None
+    if spec.autoscale is not None:
+        assert obs is not None  # guaranteed by the ObsSpec fallback above
+        autoscaler = Autoscaler(engine, obs.registry, spec.autoscale)
+        autoscaler.install()
     if driver_hook is not None:
         driver_hook(driver)
     result = driver.run()
@@ -267,6 +288,20 @@ def run_experiment(
             # fold its milestones back into the observability timeline
             # so traces alive through an outage carry them.
             for event in recovery_timeline_events(result.recovery):
+                result.observability.trace_log.add_event(**event)
+            result.observability.trace_log.annotate()
+    if autoscaler is not None:
+        autoscaler.finalize(spec.duration_s)
+        lag = obs.registry.series.get("driver.watermark_lag_s")
+        result.autoscale = compute_rescale_metrics(
+            engine.rescale_log,
+            lag.times if lag is not None else [],
+            lag.values if lag is not None else [],
+            spec.duration_s,
+        )
+        result.diagnostics.update(autoscaler.diagnostics())
+        if result.observability is not None and result.autoscale:
+            for event in rescale_timeline_events(result.autoscale):
                 result.observability.trace_log.add_event(**event)
             result.observability.trace_log.annotate()
     if skew is not None and result.observability is not None:

@@ -29,12 +29,19 @@ the calibrated cost model), ``_process`` (windowing pipeline), and
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.autoscale.rescale import (
+    STYLE_MICRO_BATCH,
+    STYLE_REPARTITION,
+    STYLE_SAVEPOINT,
+    RescaleSemantics,
+)
 from repro.core.queues import QueueSet
 from repro.core.records import PURCHASES, Record
 from repro.engines.backpressure import BackpressureMechanism
@@ -127,6 +134,10 @@ class StreamingEngine(ABC):
     default_guarantee = DeliveryGuarantee.EXACTLY_ONCE
     """Delivery guarantee in the engine's paper configuration; a trial
     can override it via ``CheckpointSpec(guarantee=...)``."""
+    rescale = RescaleSemantics()
+    """How this engine executes an elastic rescale (style of the cutover
+    pause, provisioning lead time); engines override with their own
+    semantics -- see :mod:`repro.autoscale.rescale`."""
 
     def __init__(
         self,
@@ -203,6 +214,14 @@ class StreamingEngine(ABC):
         self._checkpoint_process: Optional[PeriodicProcess] = None
         self._tick_process: Optional[PeriodicProcess] = None
         self._paused_until = -1.0
+        self.rescale_log: List[Dict[str, Any]] = []
+        """One entry per elastic rescale event (decision, cutover, and
+        completion fields are filled in as the event progresses)."""
+        self._provisioning = 0
+        self._retiring = 0
+        self._rescale_busy_until = -1.0
+        self._migration_until = -1.0
+        self._rescale_pause_total = 0.0
         self._hot_fraction = query.keys.hot_fraction()
         self._ingest_bytes_per_event = self._mean_event_bytes()
         self._result_bytes_per_output_weight = (
@@ -716,6 +735,275 @@ class StreamingEngine(ABC):
             lost_fraction=lost_fraction,
         )
 
+    # -- elastic rescale --------------------------------------------------------
+
+    @property
+    def active_workers(self) -> int:
+        """Workers currently serving (dead and draining nodes excluded
+        once their departure completes)."""
+        return self._active_workers
+
+    @property
+    def standbys_available(self) -> int:
+        """Hot spares currently idle in the pool."""
+        return self._standbys_available
+
+    @property
+    def target_workers(self) -> int:
+        """The cluster size all in-flight rescales are steering toward
+        (what policy bounds must be checked against)."""
+        return self.cluster.workers + self._provisioning - self._retiring
+
+    @property
+    def billed_nodes(self) -> int:
+        """Machines currently costing money: serving workers, idle hot
+        spares, and nodes already provisioning toward a scale-out.
+        Draining scale-in victims keep billing until they depart."""
+        return (
+            self._active_workers + self._standbys_available + self._provisioning
+        )
+
+    def request_scale_out(
+        self, nodes: int, *, reason: str = "policy", detect_s: float = 0.0
+    ) -> Optional[Dict[str, Any]]:
+        """Begin adding ``nodes`` workers; returns the rescale-log entry
+        or None when refused (engine failed, or a rescale in flight).
+
+        Capacity comes from the standby pool first (hot spares skip the
+        cold-boot lead time); the remainder cold-boots for
+        ``rescale.provision_s``.  At cutover the new owners' share of
+        keyed state migrates over their NICs and the engine pays its
+        style pause; capacity is online when both complete.
+        """
+        if self.failed or nodes <= 0:
+            return None
+        now = self.sim.now
+        if now < self._rescale_busy_until:
+            return None
+        spares = min(nodes, self._standbys_available)
+        lead = self.rescale.lead_s(cold=nodes - spares)
+        self._standbys_available -= spares
+        self._provisioning += nodes
+        entry: Dict[str, Any] = {
+            "kind": "scale-out",
+            "decided_at_s": now,
+            "delta": float(nodes),
+            "from_workers": float(self.cluster.workers),
+            "to_workers": float(self.cluster.workers + nodes),
+            "detect_s": float(detect_s),
+            "reason": reason,
+            "spares_used": float(spares),
+            "provision_s": lead,
+        }
+        self.rescale_log.append(entry)
+        self._rescale_busy_until = now + lead
+        if self.obs is not None:
+            self.obs.add_event(
+                "autoscale.scale-out", now, delta=float(nodes), reason=reason
+            )
+        self.sim.schedule(lead, self._cutover_scale_out, nodes, entry)
+        return entry
+
+    def _cutover_scale_out(self, nodes: int, entry: Dict[str, Any]) -> None:
+        if self.failed:
+            self._provisioning -= nodes
+            return
+        now = self.sim.now
+        moved_fraction = nodes / (self.cluster.workers + nodes)
+        migrated = max(0.0, self.state.used_bytes) * moved_fraction
+        migration_s = self.reschedule.migration_pause_s(
+            migrated, self.cluster.node, nodes
+        )
+        style_s = self._rescale_style_pause_s(migrated)
+        pause = style_s + migration_s
+        exposed = self._rescale_exposed_weight(moved_fraction)
+        lost, dup = self.guarantees.on_fault(max(0.0, exposed))
+        self.state_lost_weight += lost
+        self._pause_for_rescale(pause)
+        self._migration_until = max(self._migration_until, now + pause)
+        self._rescale_busy_until = max(self._rescale_busy_until, now + pause)
+        entry.update(
+            cutover_at_s=now,
+            migrated_bytes=migrated,
+            migration_s=migration_s,
+            style_pause_s=style_s,
+            pause_s=pause,
+            exposed_weight=max(0.0, exposed),
+            lost_weight=lost,
+            duplicated_weight=dup,
+        )
+        self.sim.schedule(pause, self._complete_scale_out, nodes, entry)
+
+    def _complete_scale_out(self, nodes: int, entry: Dict[str, Any]) -> None:
+        self._provisioning -= nodes
+        if self.failed:
+            return
+        self.cluster = self.cluster.with_workers(self.cluster.workers + nodes)
+        self._active_workers += nodes
+        entry["online_at_s"] = self.sim.now
+        if self.obs is not None:
+            self.obs.add_event(
+                "autoscale.capacity-online",
+                self.sim.now,
+                workers=float(self._active_workers),
+            )
+
+    def request_scale_in(
+        self, nodes: int, *, reason: str = "policy", detect_s: float = 0.0
+    ) -> Optional[Dict[str, Any]]:
+        """Begin removing ``nodes`` workers; returns the rescale-log
+        entry or None when refused.
+
+        Refusal cases enforce the scale-in safety invariant: never while
+        an earlier migration is still in flight (a victim might hold
+        un-migrated state), never the last active worker.  Idle standbys
+        are returned *first* -- they cost node-seconds but hold no state,
+        so releasing them needs no migration at all; only the remainder
+        drains actives through :meth:`ReschedulePolicy.plan_scale_in`.
+        """
+        if self.failed or nodes <= 0:
+            return None
+        now = self.sim.now
+        if now < self._rescale_busy_until or now < self._migration_until:
+            return None
+        spares = min(nodes, self._standbys_available)
+        victims = min(nodes - spares, self._active_workers - 1)
+        if spares <= 0 and victims <= 0:
+            return None
+        self._standbys_available -= spares
+        entry: Dict[str, Any] = {
+            "kind": "scale-in",
+            "decided_at_s": now,
+            "delta": -float(spares + victims),
+            "from_workers": float(self.cluster.workers),
+            "to_workers": float(self.cluster.workers - victims),
+            "detect_s": float(detect_s),
+            "reason": reason,
+            "spares_returned": float(spares),
+            "provision_s": 0.0,
+        }
+        if victims <= 0:
+            # Pure spare return: no state moves, no pause, done now.
+            entry.update(
+                cutover_at_s=now,
+                migrated_bytes=0.0,
+                migration_s=0.0,
+                style_pause_s=0.0,
+                pause_s=0.0,
+                exposed_weight=0.0,
+                lost_weight=0.0,
+                duplicated_weight=0.0,
+                online_at_s=now,
+            )
+            self.rescale_log.append(entry)
+            if self.obs is not None:
+                self.obs.add_event(
+                    "autoscale.scale-in", now, delta=-float(spares),
+                    reason=reason,
+                )
+            return entry
+        plan = self.reschedule.plan_scale_in(
+            remove=victims,
+            active=self._active_workers,
+            state_bytes=self.state.used_bytes,
+            node=self.cluster.node,
+        )
+        moved_fraction = victims / self._active_workers
+        style_s = self._rescale_style_pause_s(plan.migrated_bytes)
+        pause = style_s + plan.migration_pause_s
+        exposed = self._rescale_exposed_weight(moved_fraction)
+        lost, dup = self.guarantees.on_fault(max(0.0, exposed))
+        self.state_lost_weight += lost
+        self._pause_for_rescale(pause)
+        self._migration_until = max(self._migration_until, now + pause)
+        self._rescale_busy_until = max(self._rescale_busy_until, now + pause)
+        self._retiring += victims
+        entry.update(
+            cutover_at_s=now,
+            migrated_bytes=plan.migrated_bytes,
+            migration_s=plan.migration_pause_s,
+            style_pause_s=style_s,
+            pause_s=pause,
+            exposed_weight=max(0.0, exposed),
+            lost_weight=lost,
+            duplicated_weight=dup,
+        )
+        self.rescale_log.append(entry)
+        if self.obs is not None:
+            self.obs.add_event(
+                "autoscale.scale-in", now, delta=entry["delta"], reason=reason
+            )
+        self.sim.schedule(pause, self._complete_scale_in, victims, entry)
+        return entry
+
+    def _complete_scale_in(self, victims: int, entry: Dict[str, Any]) -> None:
+        self._retiring -= victims
+        if self.failed:
+            return
+        # A crash may have raced the drain; never depart below one
+        # active worker however the interleaving went.
+        victims = min(victims, self._active_workers - 1, self.cluster.workers - 1)
+        if victims <= 0:
+            entry["online_at_s"] = self.sim.now
+            return
+        self._active_workers -= victims
+        self.cluster = self.cluster.with_workers(self.cluster.workers - victims)
+        entry["online_at_s"] = self.sim.now
+        if self.obs is not None:
+            self.obs.add_event(
+                "autoscale.departed",
+                self.sim.now,
+                workers=float(self._active_workers),
+            )
+
+    def _rescale_style_pause_s(self, migrated_bytes: float) -> float:
+        """The engine-style component of the cutover pause (the state
+        migration itself is priced separately, by the reschedule
+        policy's NIC math)."""
+        style = self.rescale.style
+        if style == STYLE_MICRO_BATCH:
+            # The next micro-batch plans on the new cluster; nothing to
+            # pause.
+            return 0.0
+        if style == STYLE_SAVEPOINT:
+            # Aligned savepoint over the whole state, then restart at
+            # the new parallelism.
+            return self.checkpoint.sync_pause_s(self.state.used_bytes)
+        if style == STYLE_REPARTITION:
+            # Changelog flush for the moved tasks only.
+            return self.checkpoint.sync_pause_s(migrated_bytes)
+        # STYLE_REBALANCE: a planned in-flight rebalance briefly halts
+        # the topology; far cheaper than the crash-recovery rebalance
+        # but it grows with topology size the same way.
+        return (
+            0.25
+            * self.checkpoint.rebalance_base_s
+            * math.sqrt(max(1.0, self._active_workers) / 2.0)
+        )
+
+    def _rescale_exposed_weight(self, moved_fraction: float) -> float:
+        """Weight whose delivery is endangered by moving
+        ``moved_fraction`` of the keyed state during a rescale.
+
+        Default: none -- snapshot-based styles (savepoint, micro-batch)
+        move state intact under exactly-once semantics.  At-most-once
+        rebalancers and at-least-once repartitioners override this; the
+        returned weight is fed through the same
+        :class:`GuaranteeAccounting` as fault exposure, so the delivery
+        ledger stays balanced through every scale event.
+        """
+        return 0.0
+
+    def _pause_for_rescale(self, pause: float) -> None:
+        """Suspend processing for a rescale cutover.  Accounted apart
+        from fault recovery (``_recovery_pause_total``) so recovery
+        metrology never conflates a planned pause with a failure."""
+        if pause <= 0:
+            return
+        self._rescale_pause_total += pause
+        self._paused_until = max(self._paused_until, self.sim.now + pause)
+        self._ramp_from_s = max(self._ramp_from_s, self._paused_until)
+
     def _log_fault(self, kind: str, **fields: float) -> None:
         entry: Dict[str, float] = {"kind": kind, "at_s": self.sim.now}  # type: ignore[dict-item]
         entry.update(fields)
@@ -801,6 +1089,9 @@ class StreamingEngine(ABC):
         registry.gauge("engine.state_bytes").bind(
             lambda: self.state.used_bytes
         )
+        registry.gauge("engine.capacity_events_per_s").bind(
+            self._capacity_events_per_s
+        )
         bp = self._backpressure()
         for key in bp.metrics():
             registry.gauge(f"bp.{key}").bind(
@@ -847,6 +1138,9 @@ class StreamingEngine(ABC):
             "standbys_available": float(self._standbys_available),
             "standbys_promoted": float(self.standbys_promoted),
             "shed_weight": self.shed_weight,
+            "cluster_workers": float(self.cluster.workers),
+            "rescale_events": float(len(self.rescale_log)),
+            "rescale_pause_total_s": self._rescale_pause_total,
         }
         for key, value in self._backpressure().metrics().items():
             diag[f"bp.{key}"] = value

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.autoscale.rescale import STYLE_REBALANCE, RescaleSemantics
 from repro.engines.backpressure import BackpressureMechanism, CreditBased
 from repro.engines.calibration import (
     AGGREGATION,
@@ -51,7 +52,12 @@ class HeronEngine(StormEngine):
     name = "heron"
     # Inherits Storm's tuple-replay semantics and at-most-once default:
     # the container scheduler restarts faster, but without acking the
-    # dead container's window state is still gone.
+    # dead container's window state is still gone.  Rescale is Storm's
+    # in-flight rebalance too, just with a faster container scheduler
+    # (shorter warm-up); the moved partitions' exposure is identical.
+    rescale = RescaleSemantics(
+        style=STYLE_REBALANCE, provision_s=10.0, warmup_s=1.5
+    )
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)

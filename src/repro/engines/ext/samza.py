@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Union
 
+from repro.autoscale.rescale import STYLE_REPARTITION, RescaleSemantics
 from repro.core.records import Record
 from repro.engines.backpressure import BackpressureMechanism, CreditBased
 from repro.engines.base import (
@@ -65,6 +66,13 @@ class SamzaEngine(StreamingEngine):
     # are offset-based without output dedup, so replays duplicate.
     recovery_semantics = RecoverySemantics.CHECKPOINT_RESTORE
     default_guarantee = DeliveryGuarantee.AT_LEAST_ONCE
+    # Rescale repartitions the task-to-container assignment: moved
+    # tasks restore from the changelog on their new owner and re-consume
+    # since the last commit -- that share of the commit window is
+    # re-delivered (at-least-once duplicates).
+    rescale = RescaleSemantics(
+        style=STYLE_REPARTITION, provision_s=15.0, warmup_s=2.0
+    )
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -173,6 +181,15 @@ class SamzaEngine(StreamingEngine):
         weight = sum(o.weight for o in outputs)
         self._account_emission(weight)
         self.sink.emit(outputs, self._result_bytes_per_output_weight)
+
+    def _rescale_exposed_weight(self, moved_fraction: float) -> float:
+        # Moved tasks re-consume from their input topics since the last
+        # committed offset: the moved share of the commit window is
+        # re-delivered, which at-least-once accounting books as
+        # duplicates (state itself restores intact from the changelog).
+        return moved_fraction * max(
+            0.0, self.ingested_weight - self._ckpt_ingested_weight
+        )
 
     def conservation(self) -> Dict[str, float]:
         ledger = super().conservation()

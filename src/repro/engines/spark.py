@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Union
 from collections import deque
 
+from repro.autoscale.rescale import STYLE_MICRO_BATCH, RescaleSemantics
 from repro.core.records import Record
 from repro.engines.backpressure import BackpressureMechanism, RateController
 from repro.engines.base import (
@@ -160,6 +161,12 @@ class SparkEngine(StreamingEngine):
     # Spark the most robust to node failures", and exactly once.
     recovery_semantics = RecoverySemantics.LINEAGE_RECOMPUTE
     default_guarantee = DeliveryGuarantee.EXACTLY_ONCE
+    # Rescale is nearly free: the next micro-batch's tasks simply
+    # schedule over the new executor set (dynamic allocation), no
+    # topology restart and no exposed data.
+    rescale = RescaleSemantics(
+        style=STYLE_MICRO_BATCH, provision_s=15.0, warmup_s=1.0
+    )
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)

@@ -32,6 +32,7 @@ from collections import deque
 from dataclasses import dataclass, replace
 from typing import Deque, Dict, List, Union
 
+from repro.autoscale.rescale import STYLE_REBALANCE, RescaleSemantics
 from repro.core.records import Record
 from repro.engines.backpressure import BackpressureMechanism, OnOffThrottle
 from repro.engines.base import (
@@ -110,6 +111,12 @@ class StormEngine(StreamingEngine):
     # at-most-once: the dead workers' window state is simply gone.
     recovery_semantics = RecoverySemantics.TUPLE_REPLAY
     default_guarantee = DeliveryGuarantee.AT_MOST_ONCE
+    # Rescale = `storm rebalance`: an in-flight executor redistribution
+    # with a brief topology halt.  Without acking the moved partitions'
+    # un-acked window contents are dropped (at-most-once).
+    rescale = RescaleSemantics(
+        style=STYLE_REBALANCE, provision_s=15.0, warmup_s=2.0
+    )
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -206,6 +213,13 @@ class StormEngine(StreamingEngine):
         return lost_fraction * (
             self._store.stored_weight() + self._inflight_weight
         )
+
+    def _rescale_exposed_weight(self, moved_fraction: float) -> float:
+        # An in-flight rebalance moves executors without a snapshot:
+        # exactly the crash exposure, but for the *moved* partitions --
+        # dropped from the store under at-most-once (the window ledger
+        # charges it to `lost`), replayed-and-duplicated under acking.
+        return self._on_node_failure(moved_fraction)
 
     # -- pipeline ---------------------------------------------------------
 

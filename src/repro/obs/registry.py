@@ -168,6 +168,7 @@ class MetricsRegistry:
         self.histograms: Dict[str, Histogram] = {}
         self.series: Dict[str, TimeSeries] = {}
         self.sample_count = 0
+        self._sample_hooks: List[Any] = []
 
     # -- instrument factories (get-or-create) ---------------------------
 
@@ -204,6 +205,18 @@ class MetricsRegistry:
             if series is None:
                 series = self.series[name] = TimeSeries()
             series.append(now, gauge.read())
+        for hook in self._sample_hooks:
+            hook(now)
+
+    def add_sample_hook(self, hook: Any) -> None:
+        """Call ``hook(now)`` after every sample snapshot.
+
+        This is the seam controllers hang off: the autoscaler reads the
+        just-sampled signals and decides on the **simulated** sampling
+        clock, so decisions are deterministic and replayable -- there is
+        no other clock a registry consumer can observe.
+        """
+        self._sample_hooks.append(hook)
 
     def install(self, sim: Any) -> None:
         """Register the periodic sampler on a simulator."""

@@ -67,6 +67,27 @@ class ReschedulePlan:
     fatal: bool
     """True when no placement exists: no survivors and no standbys."""
 
+    def __post_init__(self) -> None:
+        if self.promoted < 0 or self.survivors < 0:
+            raise ValueError(
+                "promoted and survivors must be >= 0, got "
+                f"({self.promoted}, {self.survivors})"
+            )
+        if self.migrated_bytes < 0 or self.migration_pause_s < 0:
+            raise ValueError(
+                "migrated_bytes and migration_pause_s must be >= 0, got "
+                f"({self.migrated_bytes}, {self.migration_pause_s})"
+            )
+        if not self.fatal and self.survivors + self.promoted < 1:
+            # The invariant every caller relies on: a non-fatal plan
+            # always leaves at least one worker holding the job.  An
+            # autoscaler asking to drain the last active node must be
+            # rejected here, not discovered as a dead cluster later.
+            raise ValueError(
+                "non-fatal plan must keep >= 1 worker "
+                f"(promoted={self.promoted}, survivors={self.survivors})"
+            )
+
     @property
     def restored(self) -> int:
         """Workers active once the migration completes."""
@@ -169,6 +190,42 @@ class ReschedulePolicy:
         pause = self.migration_pause_s(migrated, node, survivors + promoted)
         return ReschedulePlan(
             promoted=promoted,
+            survivors=survivors,
+            migrated_bytes=migrated,
+            migration_pause_s=pause,
+            fatal=False,
+        )
+
+    def plan_scale_in(
+        self,
+        *,
+        remove: int,
+        active: int,
+        state_bytes: float,
+        node: NodeSpec,
+    ) -> ReschedulePlan:
+        """Plan a *voluntary* departure of ``remove`` workers.
+
+        Unlike :meth:`plan_crash` the victims are healthy: their keyed
+        state is drained onto the survivors over the NIC before the
+        slots are released, so nothing is exposed to the delivery
+        ledger by the plan itself (engines may still replay or drop
+        in-flight work per their own rescale semantics).  Removing the
+        last worker is a caller error, never a fatal plan -- an
+        autoscaler has no business emptying the cluster.
+        """
+        if remove <= 0:
+            raise ValueError(f"remove must be > 0, got {remove}")
+        if remove >= active:
+            raise ValueError(
+                f"scale-in may not remove the last worker "
+                f"(remove={remove}, active={active})"
+            )
+        survivors = active - remove
+        migrated = max(0.0, state_bytes) * (remove / active)
+        pause = self.migration_pause_s(migrated, node, survivors)
+        return ReschedulePlan(
+            promoted=0,
             survivors=survivors,
             migrated_bytes=migrated,
             migration_pause_s=pause,

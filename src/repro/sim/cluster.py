@@ -12,7 +12,7 @@ count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List
 
 
@@ -85,6 +85,15 @@ class ClusterSpec:
     def sut_ingress_bytes_per_s(self) -> float:
         """Aggregate NIC ingress capacity across the worker nodes."""
         return self.workers * self.node.nic_bytes_per_s
+
+    def with_workers(self, workers: int) -> "ClusterSpec":
+        """This deployment resized to ``workers`` worker nodes.
+
+        Used by the autoscaler on every completed rescale: the rest of
+        the deployment (drivers, master, node hardware) is fixed for the
+        trial -- elasticity only moves the worker count.
+        """
+        return replace(self, workers=workers)
 
     def describe(self) -> str:
         return (

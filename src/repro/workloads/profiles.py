@@ -12,9 +12,12 @@ events/second; the driver divides it evenly across generator instances.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
+
+import numpy as np
 
 
 class RateProfile(ABC):
@@ -33,7 +36,16 @@ class RateProfile(ABC):
         return ScaledRate(self, factor)
 
     def peak(self, horizon_s: float, resolution_s: float = 1.0) -> float:
-        """Maximum rate over ``[0, horizon_s]`` (sampled)."""
+        """Maximum rate over ``[0, horizon_s]``.
+
+        The base implementation samples on a fixed ``resolution_s`` grid
+        and therefore **can miss features narrower than the grid** (a
+        sub-second flash-crowd spike between two samples).  Profiles
+        whose shape admits it override this with an exact analytic
+        answer -- driver-queue capacity is provisioned from ``peak``, so
+        an under-estimate here means queues sized too small for the
+        very burst the profile exists to model.
+        """
         steps = max(1, int(horizon_s / resolution_s))
         return max(self.rate_at(i * resolution_s) for i in range(steps + 1))
 
@@ -62,8 +74,17 @@ class ScaledRate(RateProfile):
     base: RateProfile
     factor: float
 
+    def __post_init__(self) -> None:
+        if self.factor < 0:
+            raise ValueError(f"factor must be >= 0, got {self.factor}")
+
     def rate_at(self, t: float) -> float:
         return self.base.rate_at(t) * self.factor
+
+    def peak(self, horizon_s: float, resolution_s: float = 1.0) -> float:
+        # Exact whenever the base's peak is exact (factor >= 0, so
+        # scaling commutes with max).
+        return self.base.peak(horizon_s, resolution_s) * self.factor
 
 
 class StepRate(RateProfile):
@@ -93,6 +114,20 @@ class StepRate(RateProfile):
             else:
                 break
         return rate
+
+    def peak(self, horizon_s: float, resolution_s: float = 1.0) -> float:
+        """Exact: the max over every step active within ``[0, horizon]``.
+
+        A step narrower than the sampling grid (a sub-second spike) is
+        invisible to the sampled base implementation; here every step
+        that *starts* by the horizon contributes, however short it is.
+        """
+        best = self.steps[0][1]  # rate_at(t) before the first step
+        for start, rate in self.steps:
+            if start > horizon_s:
+                break
+            best = max(best, rate)
+        return best
 
 
 class AdaptiveRate(RateProfile):
@@ -162,6 +197,111 @@ class FluctuatingRate(RateProfile):
 
     def rate_at(self, t: float) -> float:
         return self._step.rate_at(t)
+
+    def peak(self, horizon_s: float, resolution_s: float = 1.0) -> float:
+        return self._step.peak(horizon_s, resolution_s)
+
+
+@dataclass(frozen=True)
+class DiurnalRate(RateProfile):
+    """Sinusoidal day curve: millions of users waking up and going home.
+
+    The rate swings between ``low`` (the trough, at ``phase_s``) and
+    ``high`` (the crest, half a period later) with period ``period_s``.
+    This is the canonical autoscaling workload -- the offered load
+    changes slowly enough that a policy tracking obs-registry signals
+    can provision ahead of the curve.
+    """
+
+    low: float
+    high: float
+    period_s: float = 86_400.0
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ValueError(
+                f"need 0 <= low <= high, got low={self.low} high={self.high}"
+            )
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be > 0, got {self.period_s}")
+
+    def rate_at(self, t: float) -> float:
+        cycle = (t + self.phase_s) / self.period_s
+        return self.low + (self.high - self.low) * 0.5 * (
+            1.0 - math.cos(2.0 * math.pi * cycle)
+        )
+
+    def peak(self, horizon_s: float, resolution_s: float = 1.0) -> float:
+        """Exact: ``high`` if a crest falls in ``[0, horizon]``, else the
+        larger endpoint (the only interior local maxima are crests)."""
+        first_crest = ((0.5 - self.phase_s / self.period_s) % 1.0) * self.period_s
+        if first_crest <= horizon_s:
+            return self.high
+        return max(self.rate_at(0.0), self.rate_at(horizon_s))
+
+
+class FlashCrowdRate(RateProfile):
+    """Baseline load plus seeded rectangular spike bursts.
+
+    ``spikes`` flash crowds hit within ``[0, horizon_s]``: the horizon is
+    cut into equal segments and each segment gets one burst of
+    ``spike_duration_s`` at rate ``spike`` with a seeded start, so bursts
+    never overlap and the whole shape is a pure function of the seed.
+    Bursts may be far narrower than any sampling grid -- :meth:`peak` is
+    exact regardless.
+    """
+
+    def __init__(
+        self,
+        base: float,
+        spike: float,
+        horizon_s: float,
+        spikes: int = 2,
+        spike_duration_s: float = 8.0,
+        seed: int = 0,
+    ) -> None:
+        if base < 0:
+            raise ValueError(f"base must be >= 0, got {base}")
+        if spike < base:
+            raise ValueError(f"spike ({spike}) must be >= base ({base})")
+        if horizon_s <= 0:
+            raise ValueError(f"horizon_s must be > 0, got {horizon_s}")
+        if spikes < 1:
+            raise ValueError(f"spikes must be >= 1, got {spikes}")
+        segment = horizon_s / spikes
+        if not 0 < spike_duration_s <= segment:
+            raise ValueError(
+                f"spike_duration_s must be in (0, horizon_s/spikes="
+                f"{segment}], got {spike_duration_s}"
+            )
+        self.base = float(base)
+        self.spike = float(spike)
+        self.horizon_s = float(horizon_s)
+        self.spike_duration_s = float(spike_duration_s)
+        self.seed = int(seed)
+        rng = np.random.default_rng([int(seed), spikes])
+        self.bursts: List[Tuple[float, float]] = []
+        """Each flash crowd as ``(start, end)``, in time order."""
+        for index in range(spikes):
+            slack = segment - spike_duration_s
+            start = index * segment + float(rng.uniform(0.0, slack))
+            self.bursts.append((start, start + spike_duration_s))
+
+    def rate_at(self, t: float) -> float:
+        for start, end in self.bursts:
+            if start <= t < end:
+                return self.spike
+            if t < start:
+                break
+        return self.base
+
+    def peak(self, horizon_s: float, resolution_s: float = 1.0) -> float:
+        """Exact: a burst counts the moment it starts by the horizon."""
+        for start, _ in self.bursts:
+            if start <= horizon_s:
+                return self.spike
+        return self.base
 
 
 def fig6_profile(duration_s: float = 300.0) -> FluctuatingRate:

@@ -1,0 +1,212 @@
+"""Engine-level rescale mechanics: styles, safety guards, billing."""
+
+import pytest
+
+import repro.engines.ext  # noqa: F401  (registers heron/samza)
+from repro.autoscale.rescale import (
+    RESCALE_STYLES,
+    STYLE_MICRO_BATCH,
+    STYLE_REBALANCE,
+    STYLE_REPARTITION,
+    STYLE_SAVEPOINT,
+    RescaleSemantics,
+)
+from repro.engines import engine_class
+from repro.recovery.reschedule import MODE_STANDBY, ReschedulePolicy
+from repro.sim.cluster import paper_cluster
+from repro.sim.network import DataPlane, NetworkSpec
+from repro.sim.rng import RngRegistry
+from repro.sim.simulator import Simulator
+from repro.workloads.queries import WindowedAggregationQuery
+
+
+def make_engine(name="flink", workers=2, reschedule=None):
+    sim = Simulator()
+    engine = engine_class(name)(
+        sim=sim,
+        cluster=paper_cluster(workers),
+        query=WindowedAggregationQuery(),
+        plane=DataPlane(sim, NetworkSpec()),
+        rng=RngRegistry(0).stream("rescale-test"),
+        reschedule=reschedule,
+    )
+    return sim, engine
+
+
+class TestRescaleSemantics:
+    def test_engine_styles(self):
+        assert engine_class("spark").rescale.style == STYLE_MICRO_BATCH
+        assert engine_class("flink").rescale.style == STYLE_SAVEPOINT
+        assert engine_class("storm").rescale.style == STYLE_REBALANCE
+        assert engine_class("heron").rescale.style == STYLE_REBALANCE
+        assert engine_class("samza").rescale.style == STYLE_REPARTITION
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RescaleSemantics(style="teleport")
+        with pytest.raises(ValueError):
+            RescaleSemantics(provision_s=-1.0)
+        with pytest.raises(ValueError):
+            RescaleSemantics(warmup_s=-1.0)
+
+    def test_hot_spares_skip_cold_boot(self):
+        semantics = RescaleSemantics(provision_s=15.0, warmup_s=2.0)
+        assert semantics.lead_s(cold=1) == 17.0
+        assert semantics.lead_s(cold=0) == 2.0  # warm-up still paid
+
+
+class TestStylePauses:
+    def test_micro_batch_is_free(self):
+        _, spark = make_engine("spark")
+        assert spark._rescale_style_pause_s(1e9) == 0.0
+
+    def test_savepoint_pays_whole_state_sync(self):
+        _, flink = make_engine("flink")
+        expected = flink.checkpoint.sync_pause_s(flink.state.used_bytes)
+        assert flink._rescale_style_pause_s(1.0) == pytest.approx(expected)
+
+    def test_repartition_pays_moved_share_only(self):
+        _, samza = make_engine("samza")
+        moved = 5e8
+        expected = samza.checkpoint.sync_pause_s(moved)
+        assert samza._rescale_style_pause_s(moved) == pytest.approx(expected)
+
+    def test_rebalance_grows_with_topology(self):
+        _, small = make_engine("storm", workers=2)
+        _, large = make_engine("storm", workers=8)
+        assert small._rescale_style_pause_s(0.0) > 0.0
+        assert (
+            large._rescale_style_pause_s(0.0)
+            > small._rescale_style_pause_s(0.0)
+        )
+
+
+class TestScaleOut:
+    def test_cold_scale_out_lifecycle(self):
+        sim, engine = make_engine("flink", workers=2)
+        entry = engine.request_scale_out(2, reason="test", detect_s=1.0)
+        assert entry is not None
+        assert entry["kind"] == "scale-out"
+        assert entry["from_workers"] == 2.0
+        assert entry["to_workers"] == 4.0
+        assert entry["spares_used"] == 0.0
+        assert entry["provision_s"] == engine.rescale.lead_s(cold=2)
+        # Provisioning nodes bill immediately; capacity arrives later.
+        assert engine.billed_nodes == 4
+        assert engine.active_workers == 2
+        assert engine.target_workers == 4
+        sim.run_until(60.0)
+        assert engine.active_workers == 4
+        assert engine.cluster.workers == 4
+        assert "online_at_s" in entry
+        assert entry["online_at_s"] >= entry["cutover_at_s"]
+
+    def test_one_rescale_in_flight(self):
+        sim, engine = make_engine("flink")
+        assert engine.request_scale_out(1) is not None
+        assert engine.request_scale_out(1) is None
+        sim.run_until(60.0)
+        assert engine.request_scale_out(1) is not None
+
+    def test_spares_first(self):
+        sim, engine = make_engine(
+            "flink",
+            workers=2,
+            reschedule=ReschedulePolicy(standby_nodes=2, mode=MODE_STANDBY),
+        )
+        entry = engine.request_scale_out(3)
+        assert entry["spares_used"] == 2.0
+        assert engine.standbys_available == 0
+        # One cold node: the full provision lead still applies.
+        assert entry["provision_s"] == engine.rescale.lead_s(cold=1)
+
+    def test_all_spares_warm_lead(self):
+        sim, engine = make_engine(
+            "flink",
+            workers=2,
+            reschedule=ReschedulePolicy(standby_nodes=2, mode=MODE_STANDBY),
+        )
+        entry = engine.request_scale_out(2)
+        assert entry["provision_s"] == engine.rescale.warmup_s
+
+    def test_refused_when_failed(self):
+        sim, engine = make_engine("flink")
+        engine.inject_node_failure(engine.active_workers)  # fatal: no standbys
+        assert engine.failed
+        assert engine.request_scale_out(1) is None
+
+    def test_exactly_once_exposes_nothing(self):
+        sim, engine = make_engine("flink")
+        entry = engine.request_scale_out(1)
+        sim.run_until(60.0)
+        assert entry["lost_weight"] == 0.0
+        assert entry["duplicated_weight"] == 0.0
+
+
+class TestScaleIn:
+    def test_last_worker_never_drained(self):
+        sim, engine = make_engine("flink", workers=1)
+        assert engine.request_scale_in(1) is None
+        assert engine.active_workers == 1
+
+    def test_drain_keeps_one_worker(self):
+        # Asking for more than available clamps to active - 1.
+        sim, engine = make_engine("flink", workers=3)
+        entry = engine.request_scale_in(5)
+        assert entry is not None
+        assert entry["delta"] == -2.0
+        sim.run_until(60.0)
+        assert engine.active_workers == 1
+        assert engine.cluster.workers == 1
+
+    def test_spares_returned_first_without_pause(self):
+        sim, engine = make_engine(
+            "flink",
+            workers=2,
+            reschedule=ReschedulePolicy(standby_nodes=2, mode=MODE_STANDBY),
+        )
+        billed_before = engine.billed_nodes
+        entry = engine.request_scale_in(2)
+        # Pure spare return: instant, no migration, no pause, actives
+        # untouched.
+        assert entry["spares_returned"] == 2.0
+        assert entry["pause_s"] == 0.0
+        assert entry["migrated_bytes"] == 0.0
+        assert entry["online_at_s"] == entry["decided_at_s"]
+        assert engine.active_workers == 2
+        assert engine.billed_nodes == billed_before - 2
+
+    def test_scale_in_blocked_mid_migration(self):
+        sim, engine = make_engine("flink", workers=2)
+        entry = engine.request_scale_out(1)
+        sim.run_until(entry["provision_s"] + 0.001)  # just past cutover
+        assert "cutover_at_s" in entry
+        if sim.now < engine._migration_until:
+            assert engine.request_scale_in(1) is None
+        sim.run_until(120.0)
+        assert engine.request_scale_in(1) is not None
+
+    def test_victims_bill_until_departure(self):
+        sim, engine = make_engine("samza", workers=4)
+        # Seed some keyed state so the drain takes real time.
+        engine.state.charge(5e8)
+        entry = engine.request_scale_in(2)
+        assert entry is not None
+        assert entry["pause_s"] > 0.0
+        assert engine.billed_nodes == 4  # still draining
+        sim.run_until(entry["decided_at_s"] + entry["pause_s"] + 1.0)
+        assert engine.active_workers == 2
+        assert engine.billed_nodes == 2
+
+    def test_refused_below_spares_and_victims(self):
+        sim, engine = make_engine("flink", workers=1)
+        assert engine.request_scale_in(3) is None
+
+
+class TestStyleRegistry:
+    def test_all_registered_styles_have_a_branch(self):
+        # Guards against adding a style without pricing it.
+        _, engine = make_engine("flink")
+        for style in RESCALE_STYLES:
+            object.__setattr__(engine.rescale, "style", style)
+            assert engine._rescale_style_pause_s(1e6) >= 0.0

@@ -1,0 +1,117 @@
+"""Elasticity scorecard: grid, invariants, byte-identity, resume."""
+
+import json
+
+import pytest
+
+from repro.autoscale.scorecard import (
+    ElasticityConfig,
+    elasticity_fingerprint,
+    run_elasticity,
+    single_worker_capacity,
+)
+from repro.metrology import TrialJournal
+
+SMALL = ElasticityConfig(
+    seed=3, engines=("flink",), policies=("threshold",), duration_s=60.0
+)
+
+
+class TestConfig:
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ElasticityConfig(engines=())
+        with pytest.raises(ValueError):
+            ElasticityConfig(policies=("psychic",))
+        with pytest.raises(ValueError):
+            ElasticityConfig(profiles=("square-wave",))
+        with pytest.raises(ValueError):
+            ElasticityConfig(duration_s=0.0)
+        with pytest.raises(ValueError):
+            ElasticityConfig(base_fraction=0.0)
+        with pytest.raises(ValueError):
+            ElasticityConfig(peak_fraction=0.9)  # never needs to scale
+        with pytest.raises(ValueError):
+            ElasticityConfig(spike_duration_s=500.0, duration_s=100.0)
+
+    def test_fingerprint_covers_the_whole_config(self):
+        a = elasticity_fingerprint(SMALL)
+        b = elasticity_fingerprint(
+            ElasticityConfig(
+                seed=4, engines=("flink",), policies=("threshold",),
+                duration_s=60.0,
+            )
+        )
+        assert a != b
+
+
+class TestCapacity:
+    def test_pure_function_of_engine_name(self):
+        assert single_worker_capacity("flink") == single_worker_capacity(
+            "flink"
+        )
+
+    def test_engines_differ(self):
+        assert single_worker_capacity("flink") != single_worker_capacity(
+            "storm"
+        )
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_elasticity(SMALL)
+
+    def test_all_cells_scored(self, report):
+        assert set(report.scorecards) == {("flink", "threshold")}
+        card = report.scorecards[("flink", "threshold")]
+        assert card.trials == len(SMALL.profiles)
+        assert card.survived == card.trials
+
+    def test_the_cluster_actually_scaled(self, report):
+        card = report.scorecards[("flink", "threshold")]
+        assert card.scale_outs >= 1
+        assert card.resustained >= 1
+
+    def test_no_invariant_violations(self, report):
+        assert report.ok, report.violations
+
+    def test_autoscaling_beats_fixed_provisioning(self, report):
+        card = report.scorecards[("flink", "threshold")]
+        assert 0.0 < card.cost_node_seconds < card.fixed_cost_node_seconds
+
+    def test_json_clean(self, report):
+        payload = report.to_dict()
+        text = json.dumps(payload, sort_keys=True)
+        assert json.loads(text) == payload
+
+    def test_byte_identical_for_equal_seeds(self, report):
+        assert run_elasticity(SMALL).to_json() == report.to_json()
+
+    def test_parallel_sweep_is_byte_identical(self, report):
+        assert (
+            run_elasticity(SMALL, workers=2).to_json() == report.to_json()
+        )
+
+    def test_render_mentions_status(self, report):
+        text = report.render()
+        assert "PASS" in text
+        assert "flink/threshold" in text
+
+    def test_journaled_sweep_resumes_byte_identical(self, report, tmp_path):
+        path = tmp_path / "elasticity.journal"
+        fingerprint = elasticity_fingerprint(SMALL)
+        first = run_elasticity(
+            SMALL, journal=TrialJournal(path, fingerprint=fingerprint)
+        )
+        assert first.to_json() == report.to_json()
+        replayed = []
+        resumed = run_elasticity(
+            SMALL,
+            journal=TrialJournal(path, fingerprint=fingerprint, resume=True),
+            progress=lambda line: replayed.append(line),
+        )
+        assert resumed.to_json() == report.to_json()
+        # Every cell came from the journal, none re-ran.
+        assert all("(journal)" in line for line in replayed)
+        assert len(replayed) == len(SMALL.profiles)

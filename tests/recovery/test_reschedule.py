@@ -6,6 +6,7 @@ from repro.recovery.reschedule import (
     MODE_NONE,
     MODE_SPREAD,
     MODE_STANDBY,
+    ReschedulePlan,
     ReschedulePolicy,
 )
 from repro.sim.cluster import paper_cluster
@@ -160,3 +161,79 @@ class TestPlanStraggler:
         for mode in (MODE_NONE, MODE_SPREAD):
             policy = ReschedulePolicy(standby_nodes=1, mode=mode)
             assert policy.plan_straggler(**self.kwargs()).promoted == 0
+
+
+class TestPlanValidation:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ReschedulePlan(
+                promoted=-1, survivors=2, migrated_bytes=0.0,
+                migration_pause_s=0.0, fatal=False,
+            )
+        with pytest.raises(ValueError):
+            ReschedulePlan(
+                promoted=0, survivors=2, migrated_bytes=-1.0,
+                migration_pause_s=0.0, fatal=False,
+            )
+
+    def test_non_fatal_plan_must_keep_a_worker(self):
+        # The autoscale guard: a plan that empties the cluster without
+        # declaring the job dead is rejected at construction.
+        with pytest.raises(ValueError):
+            ReschedulePlan(
+                promoted=0, survivors=0, migrated_bytes=0.0,
+                migration_pause_s=0.0, fatal=False,
+            )
+        # Fatal plans may legitimately leave zero workers.
+        plan = ReschedulePlan(
+            promoted=0, survivors=0, migrated_bytes=0.0,
+            migration_pause_s=0.0, fatal=True,
+        )
+        assert plan.restored == 0
+
+
+class TestPlanScaleIn:
+    POLICY = ReschedulePolicy()
+
+    def plan(self, **kwargs):
+        merged = dict(remove=1, active=4, state_bytes=8e8, node=NODE)
+        merged.update(kwargs)
+        return self.POLICY.plan_scale_in(**merged)
+
+    def test_departing_share_drains_to_survivors(self):
+        plan = self.plan(remove=1, active=4, state_bytes=8e8)
+        assert plan.survivors == 3
+        assert plan.promoted == 0
+        assert not plan.fatal
+        # The victims' share of keyed state: state_bytes * remove/active.
+        assert plan.migrated_bytes == pytest.approx(2e8)
+        expected_pause = self.POLICY.migration_pause_s(2e8, NODE, 3)
+        assert plan.migration_pause_s == pytest.approx(expected_pause)
+        assert plan.migration_pause_s > 0
+
+    def test_pause_scales_with_fewer_receivers(self):
+        # Removing more workers moves more bytes onto fewer NICs: the
+        # pause must grow on both axes.
+        one = self.plan(remove=1, active=4)
+        two = self.plan(remove=2, active=4)
+        assert two.migrated_bytes > one.migrated_bytes
+        assert two.migration_pause_s > one.migration_pause_s
+
+    def test_last_worker_never_removed(self):
+        with pytest.raises(ValueError):
+            self.plan(remove=1, active=1)
+        with pytest.raises(ValueError):
+            self.plan(remove=4, active=4)
+        with pytest.raises(ValueError):
+            self.plan(remove=5, active=4)
+
+    def test_remove_must_be_positive(self):
+        with pytest.raises(ValueError):
+            self.plan(remove=0)
+        with pytest.raises(ValueError):
+            self.plan(remove=-1)
+
+    def test_stateless_scale_in_is_pause_free(self):
+        plan = self.plan(state_bytes=0.0)
+        assert plan.migrated_bytes == 0.0
+        assert plan.migration_pause_s == 0.0
