@@ -1,0 +1,318 @@
+"""Columnar record batches: the vectorized engine hot path's currency.
+
+PR 1 vectorized the *driver-side* metrology (~12x); this module does the
+same for the *SUT side*.  The dense generator emits one uniform cohort
+per catalog key per tick -- a structure that is naturally columnar: all
+cohorts of one emission share ``event_time``, ``value`` and ``stream``
+and differ only in ``key`` and ``weight``.  A :class:`RecordBlock`
+carries exactly those two columns as NumPy arrays plus the shared
+scalars, so queues, sources and window stores can process a whole
+emission with a handful of array operations instead of one Python-object
+round trip per cohort.
+
+Bitwise identity with the scalar path (``REPRO_ENGINE_SCALAR=1``) is a
+hard requirement, not a nicety: the conformance goldens hash sink values
+produced by the scalar code, and floats feed control flow everywhere
+(backlogs drive ingest budgets drive RNG draws).  The toolbox here is
+therefore restricted to operations that are *bitwise equal* to the
+scalar left-fold loops they replace:
+
+- ``np.add.accumulate`` / ``np.subtract.accumulate`` are strictly
+  sequential left folds (``out[i] = op(out[i-1], a[i])``), unlike
+  ``np.sum`` which uses pairwise summation and is NOT reduction-order
+  safe.  :func:`fold_add` / :func:`fold_sub` wrap them with a prepended
+  start value to replicate ``for w in ws: x += w`` exactly.
+- Element-wise products/maxima are per-element IEEE operations and
+  bitwise equal to their scalar counterparts.
+- Fancy-index ``+=`` is a single add per target slot when the indices
+  are unique -- which blocks guarantee (one cohort per key).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.records import Record
+
+#: Environment flag selecting the scalar (record-at-a-time) reference
+#: path.  Checked at construction time of engines/generators, so a trial
+#: runs entirely in one mode.
+SCALAR_ENV = "REPRO_ENGINE_SCALAR"
+
+#: Same epsilon as the scalar pull/drain ladders.
+_EPS = 1e-9
+
+
+def scalar_mode() -> bool:
+    """True when the scalar reference path is selected via the env."""
+    return os.environ.get(SCALAR_ENV, "") not in ("", "0")
+
+
+def vector_enabled() -> bool:
+    """True when the columnar hot path is active (the default)."""
+    return not scalar_mode()
+
+
+def fold_add(start: float, values: np.ndarray) -> float:
+    """``start + values[0] + values[1] + ...`` as a strict left fold.
+
+    Bitwise equal to the scalar loop ``for v in values: start += v``
+    (``np.add.accumulate`` is sequential, not pairwise).
+    """
+    n = len(values)
+    if n == 0:
+        return float(start)
+    buf = np.empty(n + 1)
+    buf[0] = start
+    buf[1:] = values
+    np.add.accumulate(buf, out=buf)
+    return float(buf[-1])
+
+
+def fold_sub(start: float, values: np.ndarray) -> float:
+    """``start - values[0] - values[1] - ...`` as a strict left fold."""
+    n = len(values)
+    if n == 0:
+        return float(start)
+    buf = np.empty(n + 1)
+    buf[0] = start
+    buf[1:] = values
+    np.subtract.accumulate(buf, out=buf)
+    return float(buf[-1])
+
+
+class RecordBlock:
+    """A columnar batch of same-tick cohorts (one cohort per key).
+
+    The uniform fields (``value``, ``event_time``, ``stream``,
+    ``ingest_time``) are scalars shared by every cohort -- exactly the
+    dense generator's emission shape.  ``keys`` must be unique within a
+    block (one cohort per key), which is what makes fancy-index ``+=``
+    in the columnar window store a single add per accumulator.
+
+    ``traces`` is a list of ``(cohort_index, EventTrace)`` pairs for the
+    1-in-N sampled cohorts; splits follow the scalar convention (the
+    trace rides the first part of a split cohort).
+    """
+
+    __slots__ = (
+        "keys", "weights", "value", "event_time", "stream", "ingest_time",
+        "traces",
+    )
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        weights: np.ndarray,
+        value: float,
+        event_time: float,
+        stream: str,
+        ingest_time: Optional[float] = None,
+        traces: Optional[List[Tuple[int, object]]] = None,
+        _checked: bool = False,
+    ) -> None:
+        keys = np.asarray(keys, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if keys.shape != weights.shape or keys.ndim != 1:
+            raise ValueError("keys and weights must be matching 1-D arrays")
+        if not _checked and len(weights):
+            if not np.all(weights > 0):
+                raise ValueError("cohort weights must be positive")
+            if len(np.unique(keys)) != len(keys):
+                raise ValueError("block keys must be unique (one cohort/key)")
+        self.keys = keys
+        self.weights = weights
+        self.value = value
+        self.event_time = event_time
+        self.stream = stream
+        self.ingest_time = ingest_time
+        self.traces = traces if traces is not None else []
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    def total_weight(self) -> float:
+        """Left-fold total of the cohort weights (bitwise == scalar)."""
+        return fold_add(0.0, self.weights)
+
+    def materialize(self) -> List[Record]:
+        """Expand into per-cohort :class:`Record` objects.
+
+        The records are bitwise equivalent to what the scalar path would
+        have carried (same weights, times, traces-on-cohorts), so
+        engines without a columnar ``_process_batch`` can fall back to
+        their record-at-a-time pipeline without numeric divergence.
+        """
+        trace_at = dict(self.traces)
+        return [
+            Record(
+                key=int(self.keys[i]),
+                value=self.value,
+                event_time=self.event_time,
+                weight=self.weights[i],
+                stream=self.stream,
+                ingest_time=self.ingest_time,
+                trace=trace_at.get(i),
+            )
+            for i in range(len(self.weights))
+        ]
+
+    def take_prefix(self, count: int) -> "RecordBlock":
+        """The first ``count`` whole cohorts as a new block (copies)."""
+        return RecordBlock(
+            self.keys[:count].copy(),
+            self.weights[:count].copy(),
+            value=self.value,
+            event_time=self.event_time,
+            stream=self.stream,
+            ingest_time=self.ingest_time,
+            traces=[(i, t) for i, t in self.traces if i < count],
+            _checked=True,
+        )
+
+    def _advance(self, count: int) -> None:
+        """Drop the first ``count`` cohorts in place (after a take)."""
+        self.keys = self.keys[count:]
+        self.weights = self.weights[count:]
+        if self.traces:
+            self.traces = [
+                (i - count, t) for i, t in self.traces if i >= count
+            ]
+
+    def drop_front_cohort(self) -> None:
+        """Shed the head cohort entirely (its trace is dropped)."""
+        for i, trace in self.traces:
+            if i == 0:
+                trace.drop()
+        self._advance(1)
+
+    def drop_back_cohort(self) -> None:
+        """Shed the tail cohort entirely (its trace is dropped)."""
+        last = len(self.weights) - 1
+        kept = []
+        for i, trace in self.traces:
+            if i == last:
+                trace.drop()
+            else:
+                kept.append((i, trace))
+        self.traces = kept
+        self.keys = self.keys[:last]
+        self.weights = self.weights[:last]
+
+
+def as_block(record: Record) -> RecordBlock:
+    """Wrap one :class:`Record` as a single-cohort block.
+
+    Used for records that enter a vector-mode queue through the scalar
+    ``push`` (sampled-mode generators, tests): downstream operators then
+    see a homogeneous stream of blocks.  The record's trace moves onto
+    the block (single ownership, like a cohort split).
+    """
+    trace = record.trace
+    record.trace = None
+    return RecordBlock(
+        np.array([record.key], dtype=np.int64),
+        np.array([record.weight], dtype=np.float64),
+        value=record.value,
+        event_time=record.event_time,
+        stream=record.stream,
+        ingest_time=record.ingest_time,
+        traces=[(0, trace)] if trace is not None else [],
+        _checked=True,
+    )
+
+
+def records_weight(items) -> float:
+    """Total weight of a mixed list of records/blocks.
+
+    Bitwise equal to the scalar ``sum(r.weight for r in records)`` over
+    the expanded cohort sequence (strict left fold, same order).
+    """
+    total = 0.0
+    for item in items:
+        if isinstance(item, RecordBlock):
+            total = fold_add(total, item.weights)
+        else:
+            total += item.weight
+    return total
+
+
+def materialize_all(items) -> List[Record]:
+    """Expand a mixed list of records/blocks into records, in order."""
+    records: List[Record] = []
+    for item in items:
+        if isinstance(item, RecordBlock):
+            records.extend(item.materialize())
+        else:
+            records.append(item)
+    return records
+
+
+def consume_front(
+    block: RecordBlock, budget: float
+) -> Tuple[Optional[RecordBlock], float, bool]:
+    """Take cohorts from the front of ``block`` under a weight budget.
+
+    Replicates the scalar head-take ladder (queue ``pull`` / Storm
+    ``_drain_inflight``) over one block, bitwise:
+
+    - cohort ``i`` is taken whole iff the remaining budget before it is
+      ``> 1e-9`` and its weight fits;
+    - the first non-fitting cohort (with budget remaining) is *split*:
+      the taken part gets exactly the remaining budget, the cohort keeps
+      the difference, and the budget becomes exactly ``0.0``;
+    - a trace rides the first (taken) part of a split cohort.
+
+    Returns ``(taken_block_or_None, new_budget, block_emptied)``;
+    ``block`` is mutated in place to hold the remainder.
+    """
+    weights = block.weights
+    n = len(weights)
+    if n == 0:
+        return None, budget, True
+    # acc[i] = budget remaining before cohort i (strict sequential fold,
+    # so acc[i+1] = acc[i] - w[i] is the exact scalar subtraction).
+    acc = np.empty(n + 1)
+    acc[0] = budget
+    acc[1:] = weights
+    np.subtract.accumulate(acc, out=acc)
+    before = acc[:-1]
+    violation = (before <= _EPS) | (weights > before)
+    bad = np.nonzero(violation)[0]
+    if len(bad) == 0:
+        # Everything fits: the whole block is taken.
+        taken = block.take_prefix(n)
+        block._advance(n)
+        return taken, float(acc[n]), True
+    j = int(bad[0])
+    if before[j] <= _EPS:
+        # Budget exhausted before cohort j: take the clean prefix.
+        if j == 0:
+            return None, float(before[0]), False
+        taken = block.take_prefix(j)
+        block._advance(j)
+        return taken, float(before[j]), False
+    # Split cohort j: the taken part gets the remaining budget exactly.
+    split_w = float(before[j])
+    taken = RecordBlock(
+        block.keys[: j + 1].copy(),
+        block.weights[: j + 1].copy(),
+        value=block.value,
+        event_time=block.event_time,
+        stream=block.stream,
+        ingest_time=block.ingest_time,
+        traces=[(i, t) for i, t in block.traces if i <= j],
+        _checked=True,
+    )
+    taken.weights[j] = split_w
+    # Remainder: cohort j survives at reduced weight, trace gone (it
+    # left with the first part, the scalar split convention).
+    block.weights[j] = block.weights[j] - split_w
+    block.traces = [(i, t) for i, t in block.traces if i > j]
+    block._advance(j)
+    # Scalar: ``remaining -= taken.weight`` with taken.weight == the
+    # remaining budget -- exactly zero.
+    return taken, 0.0, False

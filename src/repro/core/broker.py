@@ -75,6 +75,19 @@ class BrokerStage:
         """Generator-facing push (same interface as DriverQueue)."""
         self._staged.push(record, at_time=at_time)
 
+    def push_block(self, block, at_time: float = float("nan")) -> None:
+        """Columnar generator-facing push (same interface as DriverQueue).
+
+        The staged queue's scalar ``pull`` in :meth:`_forward`
+        materialises block heads back into Records, so the broker's
+        per-record persistence/repartition split is unchanged.
+        """
+        self._staged.push_block(block, at_time=at_time)
+
+    def overflow_index(self, weights):
+        """Delegate capacity probing to the staged queue."""
+        return self._staged.overflow_index(weights)
+
     def _forward(self, sim: Simulator) -> None:
         budget = (
             self.spec.forward_capacity_events_per_s

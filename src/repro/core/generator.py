@@ -32,6 +32,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.batch import RecordBlock, vector_enabled
 from repro.core.queues import DriverQueue
 from repro.core.records import ADS, PURCHASES, Record
 from repro.sim.simulator import PeriodicProcess, Simulator
@@ -131,6 +132,16 @@ class DataGenerator:
         self.sampler = sampler
         self.generated_weight = 0.0
         self._pmf = query.keys.pmf()
+        # Columnar dense emission: one RecordBlock per (stream, tick)
+        # instead of one Record per catalog key.  Precompute the
+        # positive-mass key/mass columns once (the scalar loop's
+        # ``if mass <= 0: continue`` filter).  Sampled mode stays
+        # record-at-a-time in both engine modes (per-record RNG draws).
+        self._vector = vector_enabled() and config.mode == DENSE
+        if self._vector:
+            mask = self._pmf > 0
+            self._dense_keys = np.nonzero(mask)[0].astype(np.int64)
+            self._dense_mass = np.asarray(self._pmf, dtype=np.float64)[mask]
         self._mean_price = (MIN_GEM_PACK_PRICE + MAX_GEM_PACK_PRICE) / 2.0
         self._is_join = isinstance(query, WindowedJoinQuery)
         self._purchases_share = (
@@ -221,6 +232,9 @@ class DataGenerator:
             self._emit_sampled(stream, weight, now)
 
     def _emit_dense(self, stream: str, weight: float, now: float) -> None:
+        if self._vector:
+            self._emit_dense_block(stream, weight, now)
+            return
         value = self._mean_price if stream == PURCHASES else 0.0
         sampler = self.sampler
         push = self.queue.push
@@ -275,6 +289,54 @@ class DataGenerator:
                 at_time=now,
             )
         sampler.sync(countdown)
+
+    def _emit_dense_block(self, stream: str, weight: float, now: float) -> None:
+        """Columnar dense emission: one block per (stream, tick).
+
+        Bitwise twin of the scalar loops above: the weights column is
+        the same element-wise ``weight * mass`` product, and the sampler
+        interaction replays the scalar countdown exactly -- including
+        the overflow quirk, where the scalar loop takes the overflowing
+        cohort's trace *before* the push raises and never reaches the
+        final ``sync`` (the counter stays stale on a dropped trial).
+        """
+        value = self._mean_price if stream == PURCHASES else 0.0
+        weights = weight * self._dense_mass
+        sampler = self.sampler
+        n = len(weights)
+        block_traces = []
+        last_hit = -1
+        due = 0
+        if sampler is not None:
+            due = sampler.due_in()
+            rate = sampler.sample_rate
+            overflow = self.queue.overflow_index(weights)
+            # Hits at the scalar countdown's zero crossings, truncated
+            # at the cohort whose push would abort the emission.
+            limit = n if overflow is None else min(n, overflow + 1)
+            for h in range(due - 1, limit, rate):
+                trace = sampler.take(
+                    int(self._dense_keys[h]), stream, float(weights[h]), now
+                )
+                block_traces.append((h, trace))
+                last_hit = h
+        block = RecordBlock(
+            self._dense_keys,
+            weights,
+            value=value,
+            event_time=now,
+            stream=stream,
+            traces=block_traces,
+            _checked=True,
+        )
+        # On overflow this raises ConnectionDropped after admitting the
+        # prefix, and the sync below is skipped -- like the scalar loop.
+        self.queue.push_block(block, at_time=now)
+        if sampler is not None:
+            if last_hit >= 0:
+                sampler.sync(rate - (n - 1 - last_hit))
+            else:
+                sampler.sync(due - n)
 
     def _emit_sampled(self, stream: str, weight: float, now: float) -> None:
         k = self.config.keys_per_cohort

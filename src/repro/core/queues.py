@@ -18,8 +18,11 @@ exactly that connection drop.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple, Union
 
+import numpy as np
+
+from repro.core.batch import RecordBlock, consume_front, fold_add, fold_sub
 from repro.core.records import Record
 from repro.sim.failures import ConnectionDropped
 
@@ -38,7 +41,11 @@ class DriverQueue:
     ) -> None:
         self.name = name
         self.capacity_weight = capacity_weight
-        self._items: Deque[Record] = deque()
+        # Items are Records (scalar path) or RecordBlocks (columnar
+        # path); a queue may hold a mix -- the scalar ``pull`` lazily
+        # materializes a block head, and ``pull_blocks`` passes Record
+        # heads through for the source to wrap.
+        self._items: Deque[Union[Record, RecordBlock]] = deque()
         # Enqueue timestamp per queued cohort, parallel to _items.  The
         # queueing wait is measured against THIS clock, not event-time:
         # under the disorder workloads a late-but-freshly-pushed record
@@ -109,6 +116,89 @@ class DriverQueue:
         if record.event_time > self._frontier_event_time:
             self._frontier_event_time = record.event_time
 
+    def overflow_index(self, weights: np.ndarray) -> Optional[int]:
+        """Index of the first cohort whose push would overflow, or None.
+
+        A pure pre-check for the columnar generator: pushing cohorts of
+        ``weights`` in order, which one trips the scalar ``push``
+        overflow test?  Returns 0 when the connection is already
+        dropped.  Bitwise-faithful because the running occupancy is the
+        same strict left fold the scalar pushes would have produced.
+        """
+        if self.dropped:
+            return 0
+        if self.capacity_weight == float("inf") or len(weights) == 0:
+            return None
+        acc = np.empty(len(weights) + 1)
+        acc[0] = self._queued_weight
+        acc[1:] = weights
+        np.add.accumulate(acc, out=acc)
+        over = np.nonzero(acc[1:] > self.capacity_weight)[0]
+        if len(over) == 0:
+            return None
+        return int(over[0])
+
+    def push_block(
+        self, block: RecordBlock, at_time: float = float("nan")
+    ) -> None:
+        """Generator side: enqueue a whole columnar block at once.
+
+        Semantically ``for each cohort: push(...)``: on overflow at
+        cohort ``j`` the prefix ``[0, j)`` is admitted (ledgers, traces,
+        frontier updated exactly as the scalar loop would have left
+        them) and :class:`ConnectionDropped` is raised with the same
+        message the scalar push would have produced for cohort ``j``.
+        """
+        if self.dropped:
+            raise ConnectionDropped(
+                f"queue {self.name} connection already dropped", at_time=at_time
+            )
+        n = len(block)
+        if n == 0:
+            return
+        push_time = at_time if at_time == at_time else block.event_time
+        over = self.overflow_index(block.weights)
+        admit = n if over is None else over
+        if admit:
+            admitted = block if over is None else block.take_prefix(admit)
+            self._items.append(admitted)
+            self._push_times.append(push_time)
+            for _, trace in admitted.traces:
+                trace.mark("enqueued", push_time)
+            self._queued_weight = fold_add(
+                self._queued_weight, admitted.weights
+            )
+            self.pushed_weight = fold_add(
+                self.pushed_weight, admitted.weights
+            )
+            if block.event_time > self._frontier_event_time:
+                self._frontier_event_time = block.event_time
+        if over is not None:
+            self.dropped = True
+            overflow_occupancy = fold_add(
+                self._queued_weight, block.weights[over : over + 1]
+            )
+            raise ConnectionDropped(
+                f"queue {self.name} overflowed "
+                f"({overflow_occupancy:.0f} events > "
+                f"capacity {self.capacity_weight:.0f})",
+                at_time=at_time,
+            )
+
+    def _materialize_head(self) -> None:
+        """Expand a block at the head into Records (scalar-pull compat).
+
+        The expansion is bitwise-neutral: the records carry exactly the
+        cohort weights/times the scalar path would have queued, and the
+        block's single push time is shared by every cohort (the scalar
+        generator pushes a whole emission at one driver timestamp).
+        """
+        head = self._items.popleft()
+        push_time = self._push_times.popleft()
+        records = head.materialize()
+        self._items.extendleft(reversed(records))
+        self._push_times.extendleft([push_time] * len(records))
+
     def pull(self, max_weight: float) -> List[Record]:
         """SUT side: dequeue up to ``max_weight`` events (FIFO).
 
@@ -121,6 +211,9 @@ class DriverQueue:
         remaining = max_weight
         while self._items and remaining > 1e-9:
             head = self._items[0]
+            if isinstance(head, RecordBlock):
+                self._materialize_head()
+                head = self._items[0]
             if head.weight <= remaining:
                 self._items.popleft()
                 self._push_times.popleft()
@@ -151,6 +244,73 @@ class DriverQueue:
             self._queued_weight = 0.0
         return pulled
 
+    def pull_blocks(
+        self, max_weight: float
+    ) -> List[Union[Record, RecordBlock]]:
+        """Columnar pull: dequeue up to ``max_weight`` events as blocks.
+
+        Bitwise-identical to :meth:`pull` over the expanded cohort
+        sequence -- :func:`~repro.core.batch.consume_front` replicates
+        the head-take/split ladder, and the ledgers advance by the same
+        strict left folds the per-cohort loop would have run.  Record
+        heads (pushed by scalar producers into a mixed queue) pass
+        through unchanged; callers wrap them.
+        """
+        if max_weight <= 0:
+            return []
+        pulled: List[Union[Record, RecordBlock]] = []
+        remaining = max_weight
+        while self._items and remaining > 1e-9:
+            head = self._items[0]
+            if not isinstance(head, RecordBlock):
+                # Verbatim scalar head handling for a stray Record.
+                if head.weight <= remaining:
+                    self._items.popleft()
+                    self._push_times.popleft()
+                    taken = head
+                else:
+                    taken = Record(
+                        key=head.key,
+                        value=head.value,
+                        event_time=head.event_time,
+                        weight=remaining,
+                        stream=head.stream,
+                        trace=head.trace,
+                    )
+                    head.trace = None
+                    head.weight -= remaining
+                self._queued_weight -= taken.weight
+                self.pulled_weight += taken.weight
+                remaining -= taken.weight
+                if taken.event_time > self._last_pulled_event_time:
+                    self._last_pulled_event_time = taken.event_time
+                pulled.append(taken)
+                continue
+            taken_block, remaining_after, emptied = consume_front(
+                head, remaining
+            )
+            if emptied:
+                self._items.popleft()
+                self._push_times.popleft()
+            if taken_block is None or len(taken_block) == 0:
+                remaining = remaining_after
+                break
+            self._queued_weight = fold_sub(
+                self._queued_weight, taken_block.weights
+            )
+            self.pulled_weight = fold_add(
+                self.pulled_weight, taken_block.weights
+            )
+            remaining = remaining_after
+            if taken_block.event_time > self._last_pulled_event_time:
+                self._last_pulled_event_time = taken_block.event_time
+            pulled.append(taken_block)
+        if not self._items:
+            self._queued_weight = 0.0
+        elif self._queued_weight < 0.0:
+            self._queued_weight = 0.0
+        return pulled
+
     def shed(self, max_weight: float, drop_oldest: bool = True) -> float:
         """Load shedding: discard up to ``max_weight`` queued events.
 
@@ -168,6 +328,33 @@ class DriverQueue:
         remaining = max_weight
         while self._items and remaining > 1e-9:
             victim = self._items[0] if drop_oldest else self._items[-1]
+            if isinstance(victim, RecordBlock):
+                # Per-cohort shedding over the block edge, replicating
+                # the scalar victim loop (full cohorts drop their trace,
+                # a boundary cohort is trimmed and keeps it).
+                edge = 0 if drop_oldest else len(victim.weights) - 1
+                w = float(victim.weights[edge])
+                if w <= remaining:
+                    if drop_oldest:
+                        victim.drop_front_cohort()
+                    else:
+                        victim.drop_back_cohort()
+                    if len(victim) == 0:
+                        if drop_oldest:
+                            self._items.popleft()
+                            self._push_times.popleft()
+                        else:
+                            self._items.pop()
+                            self._push_times.pop()
+                    dropped = w
+                else:
+                    victim.weights[edge] = victim.weights[edge] - remaining
+                    dropped = remaining
+                self._queued_weight -= dropped
+                self.shed_weight += dropped
+                shed += dropped
+                remaining -= dropped
+                continue
             if victim.weight <= remaining:
                 if drop_oldest:
                     self._items.popleft()
@@ -208,7 +395,10 @@ class DriverQueue:
         if not self._items:
             return 0.0
         for record in self._items:
-            if record.trace is not None:
+            if isinstance(record, RecordBlock):
+                for _, trace in record.traces:
+                    trace.drop()
+            elif record.trace is not None:
                 record.trace.drop()
         self._items.clear()
         self._push_times.clear()

@@ -42,6 +42,12 @@ from repro.autoscale.rescale import (
     STYLE_SAVEPOINT,
     RescaleSemantics,
 )
+from repro.core.batch import (
+    RecordBlock,
+    materialize_all,
+    records_weight,
+    vector_enabled,
+)
 from repro.core.queues import QueueSet
 from repro.core.records import PURCHASES, Record
 from repro.engines.backpressure import BackpressureMechanism
@@ -171,6 +177,10 @@ class StreamingEngine(ABC):
         )
         self.sink: Optional[Sink] = None
         self.source: Optional[SourceSet] = None
+        # Columnar (block-at-a-time) hot path; REPRO_ENGINE_SCALAR=1
+        # selects the record-at-a-time reference implementation.  The
+        # mode is latched at construction so a trial runs uniformly.
+        self._vector = vector_enabled()
         self.failure: Optional[SutFailure] = None
         self.ingested_weight = 0.0
         self._active_workers = cluster.workers
@@ -390,10 +400,16 @@ class StreamingEngine(ABC):
                 budget = 0.0
             budget = self._apply_network_grant(budget)
             if budget > 0:
-                records = self.source.pull(budget, ingest_time=sim.now)
-                if records:
-                    self._account_ingest(records, dt)
-                    self._process(records, dt)
+                if self._vector:
+                    blocks = self.source.pull_batch(budget, ingest_time=sim.now)
+                    if blocks:
+                        self._account_ingest(blocks, dt)
+                        self._process_batch(blocks, dt)
+                else:
+                    records = self.source.pull(budget, ingest_time=sim.now)
+                    if records:
+                        self._account_ingest(records, dt)
+                        self._process(records, dt)
             self._on_tick_end(dt)
             self._backpressure().on_tick_end(sim.now)
         except SutFailure as failure:
@@ -416,8 +432,13 @@ class StreamingEngine(ABC):
         granted_bytes = self.plane.allocate(wanted_bytes, kind="ingest")
         return granted_bytes / self._ingest_bytes_per_event
 
-    def _account_ingest(self, records: List[Record], dt: float) -> None:
-        weight = sum(r.weight for r in records)
+    def _account_ingest(self, records: List, dt: float) -> None:
+        if self._vector:
+            # Strict left fold over the cohort sequence: bitwise equal
+            # to the scalar sum below over the expanded records.
+            weight = records_weight(records)
+        else:
+            weight = sum(r.weight for r in records)
         self.ingested_weight += weight
         if self.resources is not None:
             core_seconds = weight * self.cost.total_cost_us / 1e6
@@ -1067,6 +1088,17 @@ class StreamingEngine(ABC):
     @abstractmethod
     def _process(self, records: List[Record], dt: float) -> None:
         """Feed ingested records into the windowing pipeline."""
+
+    def _process_batch(self, blocks: List[RecordBlock], dt: float) -> None:
+        """Columnar `_process`: feed whole blocks into the pipeline.
+
+        The built-in engines override this with block-at-a-time window
+        updates; the default materializes records and delegates, so
+        custom engines (the pluggable-SUT interface) keep working in
+        vector mode with bitwise-identical numerics -- just without the
+        speedup.
+        """
+        self._process(materialize_all(blocks), dt)
 
     def _on_tick_end(self, dt: float) -> None:
         """Close ready windows / advance jobs; default no-op."""

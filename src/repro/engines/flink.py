@@ -41,7 +41,12 @@ from repro.engines.base import (
     StreamingEngine,
     windowed_conservation,
 )
+from repro.core.batch import RecordBlock
 from repro.engines.operators.aggregate import aggregation_outputs
+from repro.engines.operators.columnar import (
+    ColumnarJoinStore,
+    ColumnarWindowStore,
+)
 from repro.engines.operators.join import JoinWindowStore, join_window_outputs
 from repro.engines.operators.window import KeyedWindowStore
 from repro.faults.checkpoint import RecoverySemantics
@@ -89,10 +94,19 @@ class FlinkEngine(StreamingEngine):
         self._backpressure_mechanism = CreditBased()
         self._is_join = isinstance(self.query, WindowedJoinQuery)
         self._store: Union[JoinWindowStore, KeyedWindowStore]
+        hint = self.query.keys.num_keys
         if self._is_join:
-            self._store = JoinWindowStore(self.query.window)
+            self._store = (
+                ColumnarJoinStore(self.query.window, hint)
+                if self._vector
+                else JoinWindowStore(self.query.window)
+            )
         else:
-            self._store = KeyedWindowStore(self.query.window)
+            self._store = (
+                ColumnarWindowStore(self.query.window, hint)
+                if self._vector
+                else KeyedWindowStore(self.query.window)
+            )
         self.windows_emitted = 0
 
     @classmethod
@@ -125,6 +139,11 @@ class FlinkEngine(StreamingEngine):
     def _process(self, records: List[Record], dt: float) -> None:
         for record in records:
             self._store.add(record)
+        self._update_state_usage(self._store.stored_weight())
+
+    def _process_batch(self, blocks: List[RecordBlock], dt: float) -> None:
+        for block in blocks:
+            self._store.add_block(block)
         self._update_state_usage(self._store.stored_weight())
 
     def _on_tick_end(self, dt: float) -> None:

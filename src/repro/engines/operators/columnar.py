@@ -1,0 +1,350 @@
+"""Columnar window/join/partial stores for the vectorized hot path.
+
+Each class here is the block-at-a-time twin of a scalar store in
+:mod:`repro.engines.operators.window` / ``join`` / ``aggregate``, and
+*subclasses* it so that ``isinstance`` checks, ledger attributes and the
+non-hot-path methods (``ready_indices``, ``open_indices``, conservation
+reads) are inherited unchanged.  Only the per-record loops are replaced.
+
+The replacement is bitwise, not approximate (see
+:mod:`repro.core.batch` for why that is required and which NumPy ops
+qualify):
+
+- A :class:`_WindowCols` keeps one *slot* per key in **first-touch
+  order** -- exactly the insertion order of the scalar per-key dict --
+  so materialized ``by_key`` dicts iterate identically and every
+  left-fold over them (``WindowContents.total_weight``,
+  ``stored_weight``, join key matching) reproduces the scalar fold.
+- Accumulator updates use one fancy-index ``+=`` per block; block keys
+  are unique, so each slot receives exactly one IEEE add per block, the
+  same add the scalar ``acc.value += value * weight`` performed.
+- Ledgers advance by strict left folds (``fold_add``) over the block's
+  cohort weights, in cohort order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.batch import RecordBlock, as_block, fold_add
+from repro.core.records import ADS, PURCHASES, Record
+from repro.engines.operators.aggregate import BatchPartialAggregator
+from repro.engines.operators.join import JoinWindowStore
+from repro.engines.operators.window import (
+    KeyedWindowStore,
+    WindowAccumulator,
+    WindowContents,
+)
+from repro.workloads.queries import WindowSpec
+
+
+class _WindowCols:
+    """Column arrays for one window: per-key accumulators in slot form.
+
+    Slots are assigned in key first-touch order, mirroring the scalar
+    per-key dict's insertion order.  A direct-address table (key ->
+    slot) makes the lookup one fancy index; keys are dense small ints
+    from the workload's key distribution, so the table stays compact.
+    """
+
+    __slots__ = (
+        "n", "keys", "values", "weights", "max_et", "max_pt", "_slot_table",
+    )
+
+    def __init__(self, key_space_hint: int = 64) -> None:
+        self.n = 0
+        cap = 16
+        self.keys = np.zeros(cap, dtype=np.int64)
+        self.values = np.zeros(cap)
+        self.weights = np.zeros(cap)
+        self.max_et = np.full(cap, float("-inf"))
+        self.max_pt = np.full(cap, float("-inf"))
+        self._slot_table = np.full(max(1, key_space_hint), -1, dtype=np.int64)
+
+    def _ensure_key_space(self, max_key: int) -> None:
+        if max_key < len(self._slot_table):
+            return
+        grown = np.full(max(max_key + 1, 2 * len(self._slot_table)), -1,
+                        dtype=np.int64)
+        grown[: len(self._slot_table)] = self._slot_table
+        self._slot_table = grown
+
+    def _ensure_capacity(self, needed: int) -> None:
+        cap = len(self.keys)
+        if needed <= cap:
+            return
+        new_cap = cap
+        while new_cap < needed:
+            new_cap *= 2
+        for name in ("keys", "values", "weights", "max_et", "max_pt"):
+            old = getattr(self, name)
+            fill = float("-inf") if name in ("max_et", "max_pt") else 0
+            grown = np.full(new_cap, fill, dtype=old.dtype)
+            grown[: cap] = old
+            setattr(self, name, grown)
+
+    def add_cohorts(
+        self,
+        keys: np.ndarray,
+        weights: np.ndarray,
+        value: float,
+        event_time: float,
+        ingest_time: Optional[float],
+    ) -> None:
+        """Fold one block's cohorts into this window's accumulators.
+
+        Bitwise equal to ``for each cohort: acc.add(record)`` because
+        keys are unique within a block: every slot gets exactly one add.
+        """
+        if len(keys) == 0:
+            return
+        self._ensure_key_space(int(keys.max()))
+        slots = self._slot_table[keys]
+        fresh = np.nonzero(slots == -1)[0]
+        if len(fresh):
+            count = len(fresh)
+            self._ensure_capacity(self.n + count)
+            new_slots = np.arange(self.n, self.n + count, dtype=np.int64)
+            new_keys = keys[fresh]
+            self._slot_table[new_keys] = new_slots
+            self.keys[self.n : self.n + count] = new_keys
+            # New accumulators start at the scalar defaults (0, 0, -inf).
+            self.values[new_slots] = 0.0
+            self.weights[new_slots] = 0.0
+            self.max_et[new_slots] = float("-inf")
+            self.max_pt[new_slots] = float("-inf")
+            self.n += count
+            slots[fresh] = new_slots
+        self.values[slots] += value * weights
+        self.weights[slots] += weights
+        self.max_et[slots] = np.maximum(self.max_et[slots], event_time)
+        if ingest_time is not None:
+            self.max_pt[slots] = np.maximum(self.max_pt[slots], ingest_time)
+
+    def lose_fraction_fold(self, lost: float, fraction: float) -> float:
+        """Scale every accumulator by ``1 - fraction``; fold the loss.
+
+        Same per-accumulator operations, in slot (== insertion) order,
+        as the scalar ``lose_fraction`` inner loop.
+        """
+        n = self.n
+        if n == 0:
+            return lost
+        keep = 1.0 - fraction
+        lost = fold_add(lost, self.weights[:n] * fraction)
+        self.weights[:n] *= keep
+        self.values[:n] *= keep
+        return lost
+
+    def materialize(self) -> Dict[int, WindowAccumulator]:
+        """Expand to the scalar ``by_key`` dict, in slot order."""
+        by_key: Dict[int, WindowAccumulator] = {}
+        n = self.n
+        keys = self.keys
+        values = self.values
+        weights = self.weights
+        max_et = self.max_et
+        max_pt = self.max_pt
+        for i in range(n):
+            acc = WindowAccumulator()
+            acc.value = float(values[i])
+            acc.weight = float(weights[i])
+            acc.max_event_time = float(max_et[i])
+            acc.max_processing_time = float(max_pt[i])
+            by_key[int(keys[i])] = acc
+        return by_key
+
+
+class ColumnarWindowStore(KeyedWindowStore):
+    """Block-at-a-time :class:`KeyedWindowStore` (bitwise twin).
+
+    ``_windows`` maps window index to :class:`_WindowCols` instead of a
+    per-key dict; ``ready_indices``/``open_indices``/ledger attributes
+    are inherited.  ``close`` materializes the scalar representation so
+    downstream output assembly is shared with the scalar path.
+    """
+
+    def __init__(self, window: WindowSpec, key_space_hint: int = 64) -> None:
+        super().__init__(window)
+        self._key_space_hint = key_space_hint
+
+    def add(self, record: Record) -> int:
+        return self.add_block(as_block(record))
+
+    def add_block(self, block: RecordBlock) -> int:
+        """Fold a block into all windows containing its event time.
+
+        The scalar equivalent is ``for each cohort: self.add(record)``;
+        cohorts of one block share an event time, so the window range,
+        missed count and first-open window are computed once and the
+        ledger folds run over the cohort weights in order.
+        """
+        n_cohorts = len(block)
+        if n_cohorts == 0:
+            return 0
+        first, last = self.window.window_index_range(block.event_time)
+        updates_per = 0
+        missed = 0
+        first_open: Optional[int] = None
+        for idx in range(first, last + 1):
+            if self._closed_through is not None and idx <= self._closed_through:
+                missed += 1
+                continue
+            if first_open is None:
+                first_open = idx
+            cols = self._windows.get(idx)
+            if cols is None:
+                cols = _WindowCols(self._key_space_hint)
+                self._windows[idx] = cols
+            cols.add_cohorts(
+                block.keys,
+                block.weights,
+                block.value,
+                block.event_time,
+                block.ingest_time,
+            )
+            updates_per += 1
+        if updates_per:
+            self.total_buffered_weight = fold_add(
+                self.total_buffered_weight, block.weights
+            )
+        if missed:
+            self.dropped_weight = fold_add(
+                self.dropped_weight,
+                block.weights * (missed / self.window.windows_per_event),
+            )
+        self.updates += updates_per * n_cohorts
+        if updates_per:
+            # Scalar adds w * (updates/wpe) per cohort unconditionally,
+            # but with zero updates that is `+= 0.0` -- an exact no-op
+            # for the non-negative ledger, so it is safe to skip.
+            self.admitted_weight = fold_add(
+                self.admitted_weight,
+                block.weights
+                * (updates_per / self.window.windows_per_event),
+            )
+        if block.traces:
+            for _, trace in block.traces:
+                if first_open is None:
+                    trace.drop()
+                else:
+                    self._traces.setdefault(first_open, []).append(trace)
+            block.traces = []
+        return updates_per * n_cohorts
+
+    def close(
+        self, index: int, at_time: Optional[float] = None
+    ) -> WindowContents:
+        cols = self._windows.pop(index, None)
+        per_key = cols.materialize() if cols is not None else {}
+        traces = self._traces.pop(index, [])
+        if traces and at_time is not None:
+            for trace in traces:
+                trace.mark("closed", at_time)
+        contents = WindowContents(
+            index=index,
+            end_time=self.window.window_end(index),
+            start_time=self.window.window_start(index),
+            by_key=per_key,
+            traces=traces,
+        )
+        if self._closed_through is None or index > self._closed_through:
+            self._closed_through = index
+        released = contents.total_weight / self.window.windows_per_event
+        self.closed_weight += released
+        self.total_buffered_weight = max(
+            0.0, self.total_buffered_weight - released
+        )
+        return contents
+
+    def stored_weight(self) -> float:
+        # Scalar: builtin sum over (window insertion order, key
+        # insertion order) -- the same chained strict left fold.
+        total = 0.0
+        for cols in self._windows.values():
+            total = fold_add(total, cols.weights[: cols.n])
+        return total
+
+    def lose_fraction(self, fraction: float) -> float:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        lost = 0.0
+        for cols in self._windows.values():
+            lost = cols.lose_fraction_fold(lost, fraction)
+        self.lost_weight += lost / self.window.windows_per_event
+        return lost
+
+
+class ColumnarJoinStore(JoinWindowStore):
+    """Block-at-a-time :class:`JoinWindowStore`: columnar per side.
+
+    ``ready_indices``/``close``/``stored_weight``/``lose_fraction``
+    delegate to the sides and are inherited unchanged.
+    """
+
+    def __init__(self, window: WindowSpec, key_space_hint: int = 64) -> None:
+        super().__init__(window)
+        self.purchases = ColumnarWindowStore(window, key_space_hint)
+        self.ads = ColumnarWindowStore(window, key_space_hint)
+
+    def add_block(self, block: RecordBlock) -> int:
+        if block.stream == PURCHASES:
+            return self.purchases.add_block(block)
+        if block.stream == ADS:
+            return self.ads.add_block(block)
+        raise ValueError(f"block from unknown stream {block.stream!r}")
+
+
+class ColumnarBatchPartials(BatchPartialAggregator):
+    """Block-at-a-time :class:`BatchPartialAggregator` (Spark batches).
+
+    Accumulates into :class:`_WindowCols` during the batch and
+    materializes the scalar partials dict at :meth:`drain`, so the
+    (scalar) :class:`WindowedPartialMerger` absorbs byte-identical
+    partials in byte-identical iteration order.
+    """
+
+    def __init__(self, window: WindowSpec, key_space_hint: int = 64) -> None:
+        super().__init__(window)
+        self._cols: Dict[int, _WindowCols] = {}
+        self._key_space_hint = key_space_hint
+
+    def add(self, record: Record) -> int:
+        return self.add_block(as_block(record))
+
+    def add_block(self, block: RecordBlock) -> int:
+        n_cohorts = len(block)
+        if n_cohorts == 0:
+            return 0
+        first, last = self.window.window_index_range(block.event_time)
+        windows = 0
+        for idx in range(first, last + 1):
+            cols = self._cols.get(idx)
+            if cols is None:
+                cols = _WindowCols(self._key_space_hint)
+                self._cols[idx] = cols
+            cols.add_cohorts(
+                block.keys,
+                block.weights,
+                block.value,
+                block.event_time,
+                block.ingest_time,
+            )
+            windows += 1
+        self.batch_weight = fold_add(self.batch_weight, block.weights)
+        if block.traces:
+            for _, trace in block.traces:
+                self._traces.setdefault(first, []).append(trace)
+            block.traces = []
+        return windows * n_cohorts
+
+    def drain(self) -> Dict[int, Dict[int, WindowAccumulator]]:
+        partials = {
+            idx: cols.materialize() for idx, cols in self._cols.items()
+        }
+        self._cols = {}
+        self._partials = {}
+        self.batch_weight = 0.0
+        return partials

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.core.batch import RecordBlock, as_block, fold_sub
 from repro.core.queues import QueueSet
 from repro.core.records import Record
 
@@ -74,6 +75,53 @@ class SourceSet:
                 if record.trace is not None:
                     record.trace.mark("ingested", ingest_time)
             pulled.extend(batch)
+        return pulled
+
+    def pull_batch(
+        self, max_weight: float, ingest_time: float
+    ) -> List[RecordBlock]:
+        """Columnar :meth:`pull`: same round-robin ladder, block output.
+
+        Bitwise-identical to the scalar pull over the expanded cohort
+        sequence: the per-queue budgets, the budget countdown (a strict
+        left fold over each batch's cohort weights) and the trace marks
+        all replay the scalar loop.  Stray Records from mixed queues are
+        wrapped as single-cohort blocks so engines only see blocks.
+        """
+        if max_weight <= 0:
+            return []
+        pulled: List[RecordBlock] = []
+        remaining = max_weight
+        n = len(self._queues)
+        share = max(1.0, max_weight / n)
+        idle_rounds = 0
+        while remaining > 1e-9 and idle_rounds < n:
+            index = self._next
+            queue = self._queues.queues[index]
+            self._next = (self._next + 1) % n
+            if self._disconnected:
+                until = self._disconnected.get(index)
+                if until is not None:
+                    if ingest_time < until:
+                        idle_rounds += 1
+                        continue
+                    del self._disconnected[index]
+            batch = queue.pull_blocks(min(share, remaining))
+            if not batch:
+                idle_rounds += 1
+                continue
+            idle_rounds = 0
+            for item in batch:
+                block = (
+                    item
+                    if isinstance(item, RecordBlock)
+                    else as_block(item)
+                )
+                block.ingest_time = ingest_time
+                remaining = fold_sub(remaining, block.weights)
+                for _, trace in block.traces:
+                    trace.mark("ingested", ingest_time)
+                pulled.append(block)
         return pulled
 
     def shed(self, max_weight: float, drop_oldest: bool = True) -> float:

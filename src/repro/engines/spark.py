@@ -34,6 +34,7 @@ from typing import Deque, Dict, List, Optional, Union
 from collections import deque
 
 from repro.autoscale.rescale import STYLE_MICRO_BATCH, RescaleSemantics
+from repro.core.batch import RecordBlock, fold_add
 from repro.core.records import Record
 from repro.engines.backpressure import BackpressureMechanism, RateController
 from repro.engines.base import (
@@ -45,6 +46,10 @@ from repro.engines.operators.aggregate import (
     BatchPartialAggregator,
     WindowedPartialMerger,
     aggregation_outputs,
+)
+from repro.engines.operators.columnar import (
+    ColumnarBatchPartials,
+    ColumnarJoinStore,
 )
 from repro.engines.operators.join import JoinWindowStore, join_window_outputs
 from repro.faults.checkpoint import RecoverySemantics
@@ -175,11 +180,23 @@ class SparkEngine(StreamingEngine):
         cfg: SparkConfig = self.config
         self._controller = RateController(batch_interval_s=cfg.batch_interval_s)
         self._is_join = isinstance(self.query, WindowedJoinQuery)
+        hint = self.query.keys.num_keys
         if self._is_join:
-            self._join_store = JoinWindowStore(self.query.window)
+            self._join_store = (
+                ColumnarJoinStore(self.query.window, hint)
+                if self._vector
+                else JoinWindowStore(self.query.window)
+            )
             self._batch_weight = 0.0
         else:
-            self._partials = BatchPartialAggregator(self.query.window)
+            self._partials = (
+                ColumnarBatchPartials(self.query.window, hint)
+                if self._vector
+                else BatchPartialAggregator(self.query.window)
+            )
+            # The merger stays scalar in both modes: it absorbs the
+            # drained (materialized) partials once per batch, off the
+            # per-tick hot path.
             self._merger = WindowedPartialMerger(
                 self.query.window, inverse_reduce=cfg.inverse_reduce
             )
@@ -260,6 +277,18 @@ class SparkEngine(StreamingEngine):
         else:
             for record in records:
                 self._partials.add(record)
+
+    def _process_batch(self, blocks: List[RecordBlock], dt: float) -> None:
+        if self._is_join:
+            for block in blocks:
+                self._join_store.add_block(block)
+                self._batch_weight = fold_add(
+                    self._batch_weight, block.weights
+                )
+            self._update_state_usage(self._join_store.stored_weight())
+        else:
+            for block in blocks:
+                self._partials.add_block(block)
 
     # -- batch / job machinery ------------------------------------------------
 

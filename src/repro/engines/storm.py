@@ -33,6 +33,13 @@ from dataclasses import dataclass, replace
 from typing import Deque, Dict, List, Union
 
 from repro.autoscale.rescale import STYLE_REBALANCE, RescaleSemantics
+from repro.core.batch import (
+    RecordBlock,
+    consume_front,
+    fold_add,
+    fold_sub,
+    records_weight,
+)
 from repro.core.records import Record
 from repro.engines.backpressure import BackpressureMechanism, OnOffThrottle
 from repro.engines.base import (
@@ -41,6 +48,10 @@ from repro.engines.base import (
     windowed_conservation,
 )
 from repro.engines.operators.aggregate import aggregation_outputs
+from repro.engines.operators.columnar import (
+    ColumnarJoinStore,
+    ColumnarWindowStore,
+)
 from repro.engines.operators.join import JoinWindowStore, join_window_outputs
 from repro.engines.operators.window import KeyedWindowStore
 from repro.faults.checkpoint import RecoverySemantics
@@ -134,11 +145,20 @@ class StormEngine(StreamingEngine):
         )
         self._is_join = isinstance(self.query, WindowedJoinQuery)
         self._store: Union[JoinWindowStore, KeyedWindowStore]
+        hint = self.query.keys.num_keys
         if self._is_join:
-            self._store = JoinWindowStore(self.query.window)
+            self._store = (
+                ColumnarJoinStore(self.query.window, hint)
+                if self._vector
+                else JoinWindowStore(self.query.window)
+            )
         else:
-            self._store = KeyedWindowStore(self.query.window)
-        self._inflight: Deque[Record] = deque()
+            self._store = (
+                ColumnarWindowStore(self.query.window, hint)
+                if self._vector
+                else KeyedWindowStore(self.query.window)
+            )
+        self._inflight: Deque[Union[Record, RecordBlock]] = deque()
         self._inflight_weight = 0.0
         # Per-pull (tick) minima of event time, with remaining weight:
         # pulls interleave the driver queues round-robin, so the FIFO
@@ -240,6 +260,25 @@ class StormEngine(StreamingEngine):
             self._inflight.append(record)
             self._inflight_weight += record.weight
 
+    def _process_batch(self, blocks: List[RecordBlock], dt: float) -> None:
+        # Columnar twin of _process: one tick-min entry per poll, the
+        # inflight ledger advanced by strict left folds over each
+        # block's cohort weights (bitwise == the per-record loop; each
+        # block's minimum event time is its uniform event time).
+        cfg: StormConfig = self.config
+        period = max(1, cfg.spout_pull_period_ticks)
+        weight = records_weight(blocks)
+        self._detect_surge(weight / (dt * period), dt * period)
+        if blocks:
+            self._inflight_tick_mins.append(
+                [min(b.event_time for b in blocks), weight]
+            )
+        for block in blocks:
+            self._inflight.append(block)
+            self._inflight_weight = fold_add(
+                self._inflight_weight, block.weights
+            )
+
     def _detect_surge(self, rate: float, dt: float) -> None:
         """A sudden ingest surge may stall the topology (Experiment 5)."""
         cfg: StormConfig = self.config
@@ -272,6 +311,24 @@ class StormEngine(StreamingEngine):
         budget = self._capacity_events_per_s() * dt
         while self._inflight and budget > 1e-9:
             head = self._inflight[0]
+            if isinstance(head, RecordBlock):
+                taken, budget_after, emptied = consume_front(head, budget)
+                if emptied:
+                    self._inflight.popleft()
+                if taken is None or len(taken) == 0:
+                    budget = budget_after
+                    continue
+                self._inflight_weight = fold_sub(
+                    self._inflight_weight, taken.weights
+                )
+                budget = budget_after
+                # The tick-min countdown's epsilon merges are not
+                # vectorizable bitwise; replay them per cohort (cheap:
+                # one call per cohort against a short deque).
+                for w in taken.weights.tolist():
+                    self._consume_tick_min(w)
+                self._store.add_block(taken)
+                continue
             if head.weight <= budget:
                 self._inflight.popleft()
                 taken = head

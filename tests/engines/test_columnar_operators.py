@@ -1,0 +1,238 @@
+"""Edge cases for the columnar window/join/partial stores.
+
+The identity property suite (test_vector_identity) exercises whole
+trials; these tests pin the operator-level corners down directly:
+empty blocks, single-record blocks, blocks spanning a window boundary
+(including already-closed windows), and a block sequence interrupted by
+a mid-tick fault (``lose_fraction``).  Every case is checked against
+the scalar store fed the materialized records of the same blocks --
+exact equality, no tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import RecordBlock, as_block
+from repro.core.records import ADS, PURCHASES, Record
+from repro.engines.operators.aggregate import BatchPartialAggregator
+from repro.engines.operators.columnar import (
+    ColumnarBatchPartials,
+    ColumnarJoinStore,
+    ColumnarWindowStore,
+)
+from repro.engines.operators.join import JoinWindowStore
+from repro.engines.operators.window import KeyedWindowStore
+from repro.workloads.queries import WindowSpec
+
+WINDOW = WindowSpec(8.0, 4.0)
+
+
+def block(keys, weights, event_time, value=2.0, stream=PURCHASES,
+          ingest_time=None):
+    b = RecordBlock(
+        np.asarray(keys, dtype=np.int64),
+        np.asarray(weights, dtype=np.float64),
+        value=value,
+        event_time=event_time,
+        stream=stream,
+    )
+    b.ingest_time = ingest_time
+    return b
+
+
+def paired_stores():
+    return ColumnarWindowStore(WINDOW, key_space_hint=8), KeyedWindowStore(WINDOW)
+
+
+def feed_both(columnar, scalar, blk):
+    """Same data through both paths; updates counts must agree."""
+    records = blk.materialize()
+    vec = columnar.add_block(blk)
+    sca = sum(scalar.add(r) for r in records)
+    assert vec == sca
+    return vec
+
+
+def assert_ledgers_equal(columnar, scalar):
+    for attr in ("total_buffered_weight", "admitted_weight",
+                 "dropped_weight", "closed_weight", "lost_weight", "updates"):
+        assert getattr(columnar, attr) == getattr(scalar, attr), attr
+    assert columnar.stored_weight() == scalar.stored_weight()
+
+
+def assert_contents_equal(vec_contents, sca_contents):
+    assert list(vec_contents.by_key) == list(sca_contents.by_key)
+    for key, sca_acc in sca_contents.by_key.items():
+        vec_acc = vec_contents.by_key[key]
+        assert vec_acc.value == sca_acc.value
+        assert vec_acc.weight == sca_acc.weight
+        assert vec_acc.max_event_time == sca_acc.max_event_time
+        assert vec_acc.max_processing_time == sca_acc.max_processing_time
+    assert vec_contents.total_weight == sca_contents.total_weight
+
+
+class TestEmptyBlock:
+    def test_add_is_a_no_op(self):
+        columnar, _ = paired_stores()
+        empty = block([], [], event_time=1.0)
+        assert columnar.add_block(empty) == 0
+        assert columnar.total_buffered_weight == 0.0
+        assert columnar.updates == 0
+        assert columnar.stored_weight() == 0.0
+        assert not list(columnar.open_indices())
+
+    def test_partials_no_op(self):
+        partials = ColumnarBatchPartials(WINDOW)
+        assert partials.add_block(block([], [], event_time=1.0)) == 0
+        assert partials.batch_weight == 0.0
+        assert partials.drain() == {}
+
+
+class TestSingleRecordBlock:
+    def test_matches_scalar_add(self):
+        columnar, scalar = paired_stores()
+        record = Record(key=3, value=5.0, event_time=2.5, weight=4.0,
+                        ingest_time=2.6)
+        columnar.add(record)
+        scalar.add(
+            Record(key=3, value=5.0, event_time=2.5, weight=4.0,
+                   ingest_time=2.6)
+        )
+        assert_ledgers_equal(columnar, scalar)
+        for idx in scalar.open_indices():
+            assert_contents_equal(columnar.close(idx), scalar.close(idx))
+        assert_ledgers_equal(columnar, scalar)
+
+    def test_as_block_moves_the_trace(self):
+        record = Record(key=1, value=1.0, event_time=0.5, weight=1.0)
+        blk = as_block(record)
+        assert len(blk) == 1
+        assert blk.traces == []
+        assert float(blk.weights[0]) == 1.0
+
+
+class TestWindowBoundaryBlock:
+    def test_block_on_the_boundary(self):
+        """Event time exactly on a slide boundary: the scalar epsilon
+        logic decides the window range once per block, same as once per
+        record."""
+        columnar, scalar = paired_stores()
+        feed_both(columnar, scalar, block([0, 1, 2], [1.0, 2.0, 3.0],
+                                          event_time=4.0))
+        assert_ledgers_equal(columnar, scalar)
+        assert list(columnar.open_indices()) == list(scalar.open_indices())
+        for idx in list(scalar.open_indices()):
+            assert_contents_equal(
+                columnar.close(idx, at_time=9.0),
+                scalar.close(idx, at_time=9.0),
+            )
+        assert_ledgers_equal(columnar, scalar)
+
+    def test_block_into_partially_closed_range(self):
+        """A late block whose window range includes an already-closed
+        window: the missed share lands in dropped_weight, the rest in
+        the still-open window -- identically on both paths."""
+        columnar, scalar = paired_stores()
+        feed_both(columnar, scalar, block([0], [1.0], event_time=2.0))
+        # Close the earliest open window on both, then add a block whose
+        # range spans the closed window and the open one.
+        first = min(scalar.open_indices())
+        assert_contents_equal(
+            columnar.close(first, at_time=5.0),
+            scalar.close(first, at_time=5.0),
+        )
+        feed_both(columnar, scalar, block([5, 6], [1.5, 2.5], event_time=2.1))
+        assert columnar.dropped_weight > 0.0
+        assert_ledgers_equal(columnar, scalar)
+
+    def test_fully_late_block_is_all_dropped(self):
+        columnar, scalar = paired_stores()
+        feed_both(columnar, scalar, block([0], [1.0], event_time=10.0))
+        for idx in sorted(scalar.open_indices()):
+            assert_contents_equal(columnar.close(idx), scalar.close(idx))
+        updates = feed_both(columnar, scalar,
+                            block([1, 2], [1.0, 1.0], event_time=1.0))
+        assert updates == 0
+        assert_ledgers_equal(columnar, scalar)
+
+
+class TestMidTickFault:
+    def test_lose_fraction_between_blocks(self):
+        """A block sequence interrupted by a state-loss fault: scale,
+        then keep accumulating -- ledgers and closes stay identical."""
+        columnar, scalar = paired_stores()
+        feed_both(columnar, scalar, block([0, 1], [2.0, 4.0], event_time=1.0))
+        lost_vec = columnar.lose_fraction(0.375)
+        lost_sca = scalar.lose_fraction(0.375)
+        assert lost_vec == lost_sca
+        feed_both(columnar, scalar, block([1, 2], [1.0, 3.0], event_time=1.5))
+        assert_ledgers_equal(columnar, scalar)
+        for idx in sorted(scalar.open_indices()):
+            assert_contents_equal(
+                columnar.close(idx, at_time=20.0),
+                scalar.close(idx, at_time=20.0),
+            )
+        assert_ledgers_equal(columnar, scalar)
+
+    def test_lose_everything(self):
+        columnar, scalar = paired_stores()
+        feed_both(columnar, scalar, block([0, 1], [2.0, 4.0], event_time=1.0))
+        assert columnar.lose_fraction(1.0) == scalar.lose_fraction(1.0)
+        assert columnar.stored_weight() == scalar.stored_weight() == 0.0
+        assert_ledgers_equal(columnar, scalar)
+
+    def test_fraction_out_of_range_rejected(self):
+        columnar, _ = paired_stores()
+        with pytest.raises(ValueError):
+            columnar.lose_fraction(1.5)
+
+
+class TestJoinStoreRouting:
+    def test_blocks_route_by_stream(self):
+        columnar = ColumnarJoinStore(WINDOW)
+        scalar = JoinWindowStore(WINDOW)
+        for blk in (
+            block([0, 1], [1.0, 2.0], event_time=1.0, stream=PURCHASES),
+            block([1, 2], [3.0, 4.0], event_time=1.2, stream=ADS),
+        ):
+            records = blk.materialize()
+            columnar.add_block(blk)
+            for r in records:
+                scalar.add(r)
+        assert columnar.stored_weight() == scalar.stored_weight()
+        for idx in sorted(scalar.ready_indices(watermark=100.0)):
+            vec = columnar.close(idx, at_time=10.0)
+            sca = scalar.close(idx, at_time=10.0)
+            assert_contents_equal(vec.purchases, sca.purchases)
+            assert_contents_equal(vec.ads, sca.ads)
+
+    def test_unknown_stream_rejected(self):
+        columnar = ColumnarJoinStore(WINDOW)
+        with pytest.raises(ValueError):
+            columnar.add_block(
+                block([0], [1.0], event_time=1.0, stream="clicks")
+            )
+
+
+class TestBatchPartials:
+    def test_drain_matches_scalar(self):
+        columnar = ColumnarBatchPartials(WINDOW)
+        scalar = BatchPartialAggregator(WINDOW)
+        for blk in (
+            block([0, 1], [1.0, 2.0], event_time=1.0, ingest_time=1.1),
+            block([1, 3], [0.5, 4.0], event_time=2.0, ingest_time=2.1),
+        ):
+            records = blk.materialize()
+            columnar.add_block(blk)
+            for r in records:
+                scalar.add(r)
+        assert columnar.batch_weight == scalar.batch_weight
+        vec, sca = columnar.drain(), scalar.drain()
+        assert list(vec) == list(sca)
+        for idx in sca:
+            assert list(vec[idx]) == list(sca[idx])
+            for key in sca[idx]:
+                assert vec[idx][key].value == sca[idx][key].value
+                assert vec[idx][key].weight == sca[idx][key].weight
+        assert columnar.batch_weight == 0.0
+        assert columnar.drain() == {}
