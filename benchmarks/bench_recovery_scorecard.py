@@ -1,0 +1,120 @@
+"""Recovery benchmark: checkpoint-interval frontier monotonicity gates.
+
+Vogel et al. (2024) frame fault-tolerance tuning as the trade-off this
+repo's ``repro recover`` frontier measures: shorter checkpoint
+intervals buy faster recovery at higher steady-state overhead.  The
+run *gates* (non-zero exit) on the shape that trade-off must have for
+the two exactly-once engines:
+
+1. **Recovery never worsens with shorter intervals**: walking the
+   interval grid upward, measured recovery time is non-decreasing
+   (ties allowed -- binned latency quantizes small differences).  For
+   Flink (checkpoint-restore) the replay window grows with the
+   interval; for Spark (lineage recompute) the frontier is flat, which
+   satisfies the gate and is itself the model's claim.
+2. **Overhead is non-increasing with longer intervals**, and strictly
+   positive for checkpoint-restore engines (the pause is real).
+3. Every frontier trial recovers, and the chaos invariant families
+   (ledgers, guarantees) hold -- re-checked per trial inside the
+   harness.
+
+Run directly (not collected by the tier-1 pytest run)::
+
+    PYTHONPATH=src python benchmarks/bench_recovery_scorecard.py          # full grid
+    PYTHONPATH=src python benchmarks/bench_recovery_scorecard.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+import repro.engines.ext  # noqa: F401  (registers heron/samza)
+from repro.faults.checkpoint import RecoverySemantics
+from repro.engines import engine_class
+from repro.recoverybench import RecoverConfig, run_recovery_bench
+
+ENGINES = ("flink", "spark")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: 3-point grid, short trials",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    intervals = (5.0, 10.0, 20.0) if args.quick else (2.5, 5.0, 10.0, 20.0, 40.0)
+    duration = 45.0 if args.quick else 60.0
+    config = RecoverConfig(
+        seed=args.seed,
+        engines=ENGINES,
+        policies=("spread",),
+        kinds=("restart",),
+        intervals=intervals,
+        duration_s=duration,
+    )
+    report = run_recovery_bench(config)
+
+    failures = list(report.violations)
+    lines = [
+        f"{'engine':<8} {'interval':>8} {'recovery':>9} {'overhead':>9}",
+        "-" * 40,
+    ]
+    for engine in ENGINES:
+        points = report.frontiers[engine]
+        checkpoint_restore = (
+            engine_class(engine).recovery_semantics
+            is RecoverySemantics.CHECKPOINT_RESTORE
+        )
+        for point in points:
+            lines.append(
+                f"{engine:<8} {point.interval_s:>8g} "
+                f"{point.recovery_time_s:>9.2f} "
+                f"{point.overhead_fraction:>9.4%}"
+            )
+            if not point.recovered:
+                failures.append(
+                    f"{engine}@{point.interval_s:g}s: fault never recovered"
+                )
+            if checkpoint_restore and point.overhead_fraction <= 0.0:
+                failures.append(
+                    f"{engine}@{point.interval_s:g}s: checkpoint-restore "
+                    "engine measured zero steady-state overhead"
+                )
+        for prev, curr in zip(points, points[1:]):
+            if (
+                curr.recovery_time_s == curr.recovery_time_s
+                and prev.recovery_time_s == prev.recovery_time_s
+                and curr.recovery_time_s < prev.recovery_time_s - 1e-9
+            ):
+                failures.append(
+                    f"{engine}: recovery time fell from "
+                    f"{prev.recovery_time_s:.2f}s@{prev.interval_s:g}s to "
+                    f"{curr.recovery_time_s:.2f}s@{curr.interval_s:g}s -- "
+                    "a longer interval must never recover faster"
+                )
+            if curr.overhead_fraction > prev.overhead_fraction + 1e-12:
+                failures.append(
+                    f"{engine}: overhead rose from "
+                    f"{prev.overhead_fraction:.4%}@{prev.interval_s:g}s to "
+                    f"{curr.overhead_fraction:.4%}@{curr.interval_s:g}s -- "
+                    "a longer interval must never checkpoint more"
+                )
+
+    lines.append("-" * 40)
+    status = "PASS" if not failures else "FAIL"
+    lines.append(
+        f"{status}: {len(ENGINES)} engines x {len(intervals)} intervals, "
+        f"seed {args.seed}"
+    )
+    lines.extend(f"  ! {failure}" for failure in failures)
+    print("\n".join(lines))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Render the checkpoint-interval sensitivity frontier for one engine.
+
+The central fault-tolerance trade-off (Vogel et al. 2024): a short
+checkpoint interval pays a synchronous pause every interval but keeps
+the post-fault replay window small; a long interval inverts both.
+This example sweeps ``CheckpointSpec.interval_s`` over a log grid for
+Flink (checkpoint-restore semantics, where the trade-off is live),
+prints the measured frontier as an ASCII plot, and marks the
+Pareto-efficient settings.
+
+Run:  PYTHONPATH=src python examples/recovery_frontier.py
+"""
+
+from repro.analysis.ascii_plots import render_series
+from repro.core.metrics import TimeSeries
+from repro.recoverybench import RecoverConfig, frontier_points, run_recovery_bench
+
+ENGINE = "flink"
+
+
+def main() -> None:
+    config = RecoverConfig(
+        seed=0,
+        engines=(ENGINE,),
+        policies=("spread",),
+        kinds=("restart",),
+        intervals=(2.5, 5.0, 10.0, 20.0, 40.0),
+    )
+    print(
+        f"Sweeping checkpoint intervals {config.intervals} on {ENGINE} "
+        f"({config.duration_s:g}s trials, restart fault at "
+        f"{config.fault_at_s:g}s)..."
+    )
+    report = run_recovery_bench(config)
+    points = report.frontiers[ENGINE]
+
+    print()
+    print(
+        render_series(
+            TimeSeries(
+                [p.interval_s for p in points],
+                [p.recovery_time_s for p in points],
+            ),
+            title=f"{ENGINE}: recovery time vs. checkpoint interval",
+            unit="s",
+        )
+    )
+    print()
+    print(
+        render_series(
+            TimeSeries(
+                [p.interval_s for p in points],
+                [100.0 * p.overhead_fraction for p in points],
+            ),
+            title=f"{ENGINE}: steady-state checkpoint overhead vs. interval",
+            unit="%",
+        )
+    )
+    print()
+    print("Pareto front (minimize recovery time AND overhead):")
+    for point, on_front in frontier_points(points):
+        marker = "*" if on_front else " "
+        recovery = (
+            f"{point.recovery_time_s:6.2f}s"
+            if point.recovered
+            else "  never"
+        )
+        print(
+            f"  {marker} interval {point.interval_s:5g}s: recovery "
+            f"{recovery}, overhead {point.overhead_fraction:.4%} "
+            f"({point.checkpoints} checkpoints)"
+        )
+
+
+if __name__ == "__main__":
+    main()

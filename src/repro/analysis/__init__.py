@@ -6,12 +6,15 @@
   building the paper's figure panels.
 - :mod:`repro.analysis.ascii_plots` -- terminal rendering of series so
   the benchmark harness can show figure shapes without a plotting stack.
+- :mod:`repro.analysis.pareto` -- Pareto-front extraction for benchmark
+  trade-off frontiers (recovery time vs. checkpoint overhead).
 - :mod:`repro.analysis.paper_values` -- every number published in the
   paper's Tables I-IV and the headline Experiment 3/4 figures, for
   side-by-side shape comparison.
 """
 
 from repro.analysis.ascii_plots import render_series, sparkline
+from repro.analysis.pareto import pareto_front
 from repro.analysis.paper_values import (
     PAPER_TABLE1_AGG_THROUGHPUT,
     PAPER_TABLE2_AGG_LATENCY,
@@ -27,6 +30,7 @@ __all__ = [
     "PAPER_TABLE3_JOIN_THROUGHPUT",
     "PAPER_TABLE4_JOIN_LATENCY",
     "align_series",
+    "pareto_front",
     "relative_error",
     "render_series",
     "resample",

@@ -1,0 +1,59 @@
+"""Pareto-front extraction for benchmark trade-off frontiers.
+
+The checkpoint-interval sensitivity sweep (:mod:`repro.recoverybench`)
+produces one point per interval: recovery time after a fault vs. the
+steady-state pause overhead the checkpoint cadence costs.  Vogel et
+al. (2024) frame fault-tolerance tuning as exactly this trade-off, so
+the report must say which configurations are *efficient* -- not
+improvable on one axis without paying on the other -- and which are
+dominated.  The same extraction applies to any minimize-everything
+objective tuple (cost vs. latency, overhead vs. loss, ...).
+
+All objectives are minimized.  Points carrying a NaN in any objective
+are never on the front (an unmeasured axis cannot claim efficiency)
+and never dominate anything.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def _valid(point: Sequence[float]) -> bool:
+    return all(value == value for value in point)
+
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is at least as good as ``b`` on every objective
+    and strictly better on at least one (minimization)."""
+    at_least_as_good = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points, minimizing every objective.
+
+    Duplicated points are all kept (none strictly beats its twin), so
+    equally-efficient configurations both show up on the front.  The
+    result is sorted by index -- deterministic regardless of how the
+    caller ordered equally-good points.
+    """
+    cleaned = [tuple(float(v) for v in p) for p in points]
+    sizes = {len(p) for p in cleaned}
+    if len(sizes) > 1:
+        raise ValueError(
+            f"points must share one objective count, got sizes {sorted(sizes)}"
+        )
+    front: List[int] = []
+    for i, candidate in enumerate(cleaned):
+        if not _valid(candidate):
+            continue
+        dominated = any(
+            _valid(other) and _dominates(other, candidate)
+            for j, other in enumerate(cleaned)
+            if j != i
+        )
+        if not dominated:
+            front.append(i)
+    return front

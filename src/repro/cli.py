@@ -11,6 +11,10 @@ Commands mirror the framework's workflow:
 - ``autoscale`` -- cross-engine elasticity scorecard: engines x scaling
   policies x diurnal/flash-crowd workloads, with time-to-resustain
   metrology and node-second cost accounting.
+- ``recover`` -- recovery-efficiency scorecard: one deterministic fault
+  per (engine x reschedule policy x fault kind) cell with detection /
+  restore / catch-up decomposition and node-second recovery cost, plus
+  the checkpoint-interval sensitivity frontier per engine.
 
 Elastic autoscaling (PR 7) rides on ``run`` via ``--autoscale POLICY``
 (with ``--min-nodes`` / ``--max-nodes`` / ``--cooldown``): a policy
@@ -730,6 +734,49 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_recover(args: argparse.Namespace) -> int:
+    from repro.recoverybench import (
+        RecoverConfig,
+        recover_fingerprint,
+        run_recovery_bench,
+    )
+
+    if args.resume and not args.journal:
+        raise ValueError("--resume requires --journal PATH")
+    config = RecoverConfig(
+        seed=args.seed,
+        engines=tuple(args.engines),
+        policies=tuple(args.policies),
+        kinds=tuple(args.kinds),
+        intervals=() if args.no_frontier else tuple(args.intervals),
+        duration_s=args.duration,
+        rate=args.rate,
+        workers=args.sut_workers,
+    )
+    journal = None
+    if args.journal:
+        journal = TrialJournal(
+            args.journal,
+            fingerprint=recover_fingerprint(config),
+            resume=args.resume,
+        )
+    if args.workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {args.workers}")
+    progress = print if args.verbose else None
+    report = run_recovery_bench(
+        config, progress=progress, journal=journal, workers=args.workers
+    )
+    if journal is not None:
+        print(
+            f"journal: {journal.hits} replayed, {journal.misses} run live"
+        )
+    print(report.render())
+    if args.output:
+        path = write_json(report.to_dict(), args.output)
+        print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
 def cmd_autoscale(args: argparse.Namespace) -> int:
     from repro.autoscale.scorecard import (
         ElasticityConfig,
@@ -942,6 +989,85 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    recover_parser = sub.add_parser(
+        "recover",
+        help=(
+            "recovery-efficiency scorecard: one deterministic fault per "
+            "(engine x reschedule policy x kind) cell plus the "
+            "checkpoint-interval sensitivity frontier per engine (exit 1 "
+            "on any invariant violation)"
+        ),
+    )
+    recover_parser.add_argument("--seed", type=int, default=0)
+    recover_parser.add_argument(
+        "--engines", nargs="+", choices=sorted(ENGINES),
+        default=sorted(ENGINES),
+    )
+    recover_parser.add_argument(
+        "--policies", nargs="+",
+        choices=[MODE_NONE, MODE_SPREAD, MODE_STANDBY],
+        default=[MODE_NONE, MODE_SPREAD, MODE_STANDBY],
+        help="reschedule policies to compare (default: all three)",
+    )
+    recover_parser.add_argument(
+        "--kinds", nargs="+",
+        choices=["crash", "restart", "slow", "partition", "disconnect"],
+        default=["crash", "restart", "slow", "partition", "disconnect"],
+        help="SUT fault kinds to benchmark (default: all five)",
+    )
+    recover_parser.add_argument(
+        "--intervals", nargs="+", type=float,
+        default=[2.5, 5.0, 10.0, 20.0, 40.0], metavar="SECONDS",
+        help=(
+            "checkpoint intervals swept per engine for the "
+            "recovery-time vs. overhead frontier (default: log grid "
+            "2.5..40)"
+        ),
+    )
+    recover_parser.add_argument(
+        "--no-frontier", action="store_true",
+        help="skip the checkpoint-interval sweep (grid cells only)",
+    )
+    recover_parser.add_argument(
+        "--duration", type=float, default=60.0,
+        help="simulated seconds per trial (default: 60)",
+    )
+    recover_parser.add_argument(
+        "--rate", type=float, default=30_000.0,
+        help="offered load per trial in events/s (default: 30000)",
+    )
+    recover_parser.add_argument(
+        "--sut-workers", type=int, default=2,
+        help="simulated cluster size per trial (default: 2)",
+    )
+    recover_parser.add_argument(
+        "--workers", type=int, default=1,
+        help=(
+            "scheduler parallelism: fan trials over N worker processes "
+            "(report stays byte-identical to --workers 1)"
+        ),
+    )
+    recover_parser.add_argument(
+        "--verbose", action="store_true",
+        help="print a status line per trial",
+    )
+    recover_parser.add_argument(
+        "--output", type=str, default=None,
+        help="write the recovery report as JSON to this path",
+    )
+    recover_parser.add_argument(
+        "--journal", type=str, default=None, metavar="PATH",
+        help="checkpoint each completed trial digest to this JSON journal",
+    )
+    recover_parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "replay completed trials from --journal instead of "
+            "re-running them (byte-identical final report)"
+        ),
+    )
+    recover_parser.set_defaults(func=cmd_recover)
 
     autoscale_parser = sub.add_parser(
         "autoscale",

@@ -220,6 +220,7 @@ class StreamingEngine(ABC):
         self._last_checkpoint_s = 0.0
         self._ckpt_ingested_weight = 0.0
         self._checkpoints_completed = 0
+        self._checkpoint_pause_total = 0.0
         self._recovery_pause_total = 0.0
         self._checkpoint_process: Optional[PeriodicProcess] = None
         self._tick_process: Optional[PeriodicProcess] = None
@@ -485,6 +486,7 @@ class StreamingEngine(ABC):
         ):
             self._checkpoints_completed += 1
             pause = self.checkpoint.sync_pause_s(self.state.used_bytes)
+            self._checkpoint_pause_total += pause
             self._paused_until = max(self._paused_until, sim.now + pause)
 
     # -- fault injection --------------------------------------------------------
@@ -1166,6 +1168,7 @@ class StreamingEngine(ABC):
             "lost_weight": self.guarantees.lost_weight,
             "duplicated_weight": self.guarantees.duplicated_weight,
             "checkpoints_completed": float(self._checkpoints_completed),
+            "checkpoint_pause_total_s": self._checkpoint_pause_total,
             "recovery_pause_total_s": self._recovery_pause_total,
             "standbys_available": float(self._standbys_available),
             "standbys_promoted": float(self.standbys_promoted),

@@ -68,6 +68,56 @@ class RecoveryMetrics:
     def recovered(self) -> bool:
         return self.recovery_time_s == self.recovery_time_s
 
+    # -- phase decomposition ------------------------------------------------
+    #
+    # The recovery window splits into three consecutive phases (Vogel et
+    # al. 2024's time decomposition): *detection* (failure-detector
+    # delay), *restore* (the rest of the injected processing outage --
+    # restart, state restore, replay), and *catch-up* (processing
+    # resumed but latency still outside the baseline band while the
+    # outage backlog drains).  The measured signals can disagree by a
+    # bin (the outage is model-derived, the recovery time is read off
+    # binned latency), so each phase is clamped into the window: the
+    # three are non-negative, ordered, and sum to ``recovery_time_s``
+    # exactly.  All three are NaN when the fault never recovered --
+    # there is no window to decompose.
+
+    def _clamped_outage(self) -> tuple:
+        total = self.recovery_time_s
+        detection = self.detection_s if self.detection_s == self.detection_s else 0.0
+        detection = min(max(detection, 0.0), total)
+        outage = (
+            self.injected_pause_s
+            if self.injected_pause_s == self.injected_pause_s
+            else 0.0
+        )
+        outage = min(max(outage, detection), total)
+        return detection, outage
+
+    @property
+    def detection_phase_s(self) -> float:
+        """Share of the recovery window spent detecting the failure."""
+        if not self.recovered:
+            return NAN
+        return self._clamped_outage()[0]
+
+    @property
+    def restore_phase_s(self) -> float:
+        """Share of the window spent in the processing outage past
+        detection (restart + state restore + input replay)."""
+        if not self.recovered:
+            return NAN
+        detection, outage = self._clamped_outage()
+        return outage - detection
+
+    @property
+    def catchup_phase_s(self) -> float:
+        """Share of the window spent draining the outage backlog after
+        processing resumed."""
+        if not self.recovered:
+            return NAN
+        return self.recovery_time_s - self._clamped_outage()[1]
+
     def to_dict(self) -> Dict[str, Any]:
         def clean(value: float) -> Optional[float]:
             return None if value != value else float(value)
@@ -75,9 +125,13 @@ class RecoveryMetrics:
         return {
             "kind": self.kind,
             "fault_time_s": float(self.fault_time_s),
+            "recovered": self.recovered,
             "detection_s": clean(self.detection_s),
             "injected_pause_s": clean(self.injected_pause_s),
             "recovery_time_s": clean(self.recovery_time_s),
+            "detection_phase_s": clean(self.detection_phase_s),
+            "restore_phase_s": clean(self.restore_phase_s),
+            "catchup_phase_s": clean(self.catchup_phase_s),
             "catchup_throughput": clean(self.catchup_throughput),
             "baseline_latency_s": clean(self.baseline_latency_s),
             "baseline_p99_s": clean(self.baseline_p99_s),
@@ -90,9 +144,14 @@ class RecoveryMetrics:
         recovery = (
             f"{self.recovery_time_s:.1f}s" if self.recovered else "never"
         )
+        catchup = (
+            f"{self.catchup_throughput / 1e6:.3f} M/s"
+            if self.catchup_throughput == self.catchup_throughput
+            else "n/a"
+        )
         return (
             f"{self.kind}@{self.fault_time_s:g}s: recovery {recovery}, "
-            f"catch-up {self.catchup_throughput / 1e6:.3f} M/s, "
+            f"catch-up {catchup}, "
             f"lost {self.lost_weight:.0f}, dup {self.duplicated_weight:.0f}"
         )
 

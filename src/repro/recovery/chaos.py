@@ -331,7 +331,12 @@ def trial_digest(result: TrialResult, violations: List[str]) -> Dict[str, object
                 "migrated_bytes": float(getattr(entry, "migrated_bytes", 0.0)),
                 "recovered": bool(entry.recovered),
                 "recovery_time_s": _clean(entry.recovery_time_s),
+                "detection_phase_s": _clean(entry.detection_phase_s),
+                "restore_phase_s": _clean(entry.restore_phase_s),
+                "catchup_phase_s": _clean(entry.catchup_phase_s),
                 "catchup_throughput": _clean(entry.catchup_throughput),
+                "lost_weight": float(entry.lost_weight),
+                "duplicated_weight": float(entry.duplicated_weight),
             }
         )
     return {
@@ -365,6 +370,11 @@ class Scorecard:
     faults_recovered: int = 0
     faults_unrecovered: int = 0
     detection_s_sum: float = 0.0
+    detect_phase_s_sum: float = 0.0
+    restore_phase_s_sum: float = 0.0
+    catchup_phase_s_sum: float = 0.0
+    fault_lost_weight: float = 0.0
+    fault_duplicated_weight: float = 0.0
     recovery_s_max: float = 0.0
     catchup_rate_max: float = 0.0
     shed_weight: float = 0.0
@@ -404,11 +414,23 @@ class Scorecard:
             if detection == detection:
                 self.detection_s_sum += detection
             self.migrated_bytes += float(entry["migrated_bytes"])
+            self.fault_lost_weight += float(entry.get("lost_weight", 0.0))
+            self.fault_duplicated_weight += float(
+                entry.get("duplicated_weight", 0.0)
+            )
             if entry["recovered"]:
                 self.faults_recovered += 1
                 self.recovery_s_max = max(
                     self.recovery_s_max, _nan(entry["recovery_time_s"])
                 )
+                for key, attr in (
+                    ("detection_phase_s", "detect_phase_s_sum"),
+                    ("restore_phase_s", "restore_phase_s_sum"),
+                    ("catchup_phase_s", "catchup_phase_s_sum"),
+                ):
+                    phase = _nan(entry.get(key))
+                    if phase == phase:
+                        setattr(self, attr, getattr(self, attr) + phase)
                 catchup = _nan(entry["catchup_throughput"])
                 if catchup == catchup:
                     self.catchup_rate_max = max(
@@ -417,6 +439,14 @@ class Scorecard:
             else:
                 self.faults_unrecovered += 1
         self.violations.extend(digest["violations"])
+
+    def _phase_mean(self, phase: str) -> float:
+        """Mean per-recovered-fault phase duration (0 when none
+        recovered: the decomposition only exists for recovered faults)."""
+        if not self.faults_recovered:
+            return 0.0
+        total = getattr(self, f"{phase}_phase_s_sum")
+        return total / self.faults_recovered
 
     def to_dict(self) -> Dict[str, object]:
         detection_mean = (
@@ -436,6 +466,11 @@ class Scorecard:
             "faults_unrecovered": self.faults_unrecovered,
             "detection_s_mean": _round6(detection_mean),
             "recovery_s_max": _round6(self.recovery_s_max),
+            "detect_phase_s_mean": _round6(self._phase_mean("detect")),
+            "restore_phase_s_mean": _round6(self._phase_mean("restore")),
+            "catchup_phase_s_mean": _round6(self._phase_mean("catchup")),
+            "fault_lost_weight": _round6(self.fault_lost_weight),
+            "fault_duplicated_weight": _round6(self.fault_duplicated_weight),
             "catchup_rate_max": _round6(self.catchup_rate_max),
             "shed_weight": _round6(self.shed_weight),
             "migrated_bytes": _round6(self.migrated_bytes),
@@ -490,7 +525,8 @@ class ChaosReport:
         """ASCII scorecard table."""
         header = (
             f"{'engine/policy':<18} {'ok':>5} {'fail':>4} {'faults':>6} "
-            f"{'recov':>5} {'det(s)':>7} {'rec(s)':>7} {'shed':>10} "
+            f"{'recov':>5} {'det(s)':>7} {'rst(s)':>7} {'cat(s)':>7} "
+            f"{'rec(s)':>7} {'lost':>8} {'dup':>8} {'shed':>10} "
             f"{'promoted':>8} {'viol':>4}"
         )
         lines = [header, "-" * len(header)]
@@ -500,8 +536,12 @@ class ChaosReport:
                 f"{engine + '/' + policy:<18} {card.survived:>5} "
                 f"{card.failed:>4} {card.faults_injected:>6} "
                 f"{card.faults_recovered:>5} "
-                f"{d['detection_s_mean'] or 0:>7.2f} "
+                f"{d['detect_phase_s_mean'] or 0:>7.2f} "
+                f"{d['restore_phase_s_mean'] or 0:>7.2f} "
+                f"{d['catchup_phase_s_mean'] or 0:>7.2f} "
                 f"{d['recovery_s_max'] or 0:>7.2f} "
+                f"{card.fault_lost_weight:>8.0f} "
+                f"{card.fault_duplicated_weight:>8.0f} "
                 f"{card.shed_weight:>10.0f} "
                 f"{card.standbys_promoted:>8.0f} "
                 f"{len(card.violations):>4}"
@@ -549,8 +589,12 @@ def chaos_fingerprint(config: ChaosConfig) -> str:
     trials only from a journal written by the *same* soak.  Scheduler
     parallelism is deliberately absent -- a parallel run and a serial
     run of the same config are the same experiment (byte-identical
-    scorecards), so their journals are interchangeable."""
-    return f"chaos|{config!r}"
+    scorecards), so their journals are interchangeable.  The ``v2``
+    tag versions the *digest schema*: PR 9 added the recovery phase
+    decomposition and per-fault guarantee weights to ``trial_digest``,
+    so journals written before that carry digests the scorecard would
+    aggregate differently -- they must mismatch, not silently resume."""
+    return f"chaos|v2|{config!r}"
 
 
 def round_seed(seed: int, round_index: int) -> int:

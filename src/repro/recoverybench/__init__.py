@@ -1,0 +1,43 @@
+"""Recovery-efficiency benchmarking: the quantitative fault scorecard.
+
+The chaos soak (:mod:`repro.recovery.chaos`) answers "does the SUT
+survive random faults?"; this package answers the Vogel et al. (2024)
+follow-up -- *how well* does each engine recover, and what does its
+fault-tolerance configuration cost:
+
+- :mod:`repro.recoverybench.efficiency` -- the per-cell
+  :class:`~repro.recoverybench.efficiency.RecoveryEfficiency` record:
+  detection / restore / catch-up decomposition, guarantee-normalized
+  lost/duplicated weight, post-recovery p99 inflation, and the
+  node-second recovery-cost score;
+- :mod:`repro.recoverybench.frontier` -- checkpoint-interval
+  sensitivity sweeps and the recovery-time vs. steady-state-overhead
+  frontier (Pareto extraction via :mod:`repro.analysis.pareto`);
+- :mod:`repro.recoverybench.scorecard` -- the ``repro recover``
+  harness: engines x reschedule policies x fault kinds fanned through
+  the :mod:`repro.sched` scheduler with journal resume, byte-identical
+  serial / parallel / resumed.
+"""
+
+from repro.recoverybench.efficiency import RecoveryEfficiency
+from repro.recoverybench.frontier import FrontierPoint, frontier_points
+from repro.recoverybench.scorecard import (
+    FAULT_KINDS,
+    POLICY_NAMES,
+    RecoverConfig,
+    RecoveryReport,
+    recover_fingerprint,
+    run_recovery_bench,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FrontierPoint",
+    "POLICY_NAMES",
+    "RecoverConfig",
+    "RecoveryEfficiency",
+    "RecoveryReport",
+    "frontier_points",
+    "recover_fingerprint",
+    "run_recovery_bench",
+]

@@ -1,0 +1,479 @@
+"""The ``repro recover`` harness: engines x policies x fault kinds.
+
+Where the chaos soak throws *random* fault schedules at every cell and
+checks invariants, this benchmark injects exactly **one deterministic
+fault per cell** so the cells are comparable measurements: the same
+fault kind at the same instant under the same offered load, varying
+only the engine and the reschedule policy.  Each cell condenses to a
+:class:`~repro.recoverybench.efficiency.RecoveryEfficiency` record;
+each engine additionally runs the checkpoint-interval sensitivity
+sweep (:mod:`repro.recoverybench.frontier`).
+
+Same determinism contract as the chaos and autoscale scorecards: one
+seed yields a byte-identical report JSON, serial or ``--workers N`` or
+resumed from a journal -- the report absorbs per-trial digests in
+fixed grid order, never raw results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.generator import GeneratorConfig
+import repro.engines.ext  # noqa: F401  (registers heron/samza in ENGINES)
+from repro.engines import engine_class
+from repro.engines.base import EngineConfig
+from repro.faults.checkpoint import CheckpointSpec
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    NetworkPartition,
+    NodeCrash,
+    ProcessRestart,
+    QueueDisconnect,
+    SlowNode,
+)
+from repro.metrology.journal import TrialJournal
+from repro.recovery.chaos import ChaosConfig, DEFAULT_ENGINES, check_invariants
+from repro.recovery.reschedule import (
+    MODE_NONE,
+    MODE_SPREAD,
+    MODE_STANDBY,
+    ReschedulePolicy,
+)
+from repro.recoverybench.efficiency import (
+    RecoveryEfficiency,
+    efficiency_from_digest,
+    recovery_cost_node_s,
+)
+from repro.recoverybench.frontier import (
+    FrontierPoint,
+    frontier_points,
+    point_from_digest,
+)
+from repro.sched.pool import TrialScheduler, TrialTask
+from repro.workloads.queries import WindowSpec, WindowedAggregationQuery
+
+#: The SUT-side fault kinds benchmarked, one deterministic injection
+#: each (driver-side faults injure the instrument, not the SUT, and are
+#: chaos-soak material -- recovery efficiency is not defined for them).
+FAULT_KINDS = ("crash", "restart", "slow", "partition", "disconnect")
+
+#: The three reschedule policies compared per engine: legacy
+#: lose-capacity, spreading over survivors, and standby promotion.
+POLICY_NAMES = (MODE_NONE, MODE_SPREAD, MODE_STANDBY)
+
+#: Log grid over CheckpointSpec.interval_s for the sensitivity sweep.
+DEFAULT_INTERVALS = (2.5, 5.0, 10.0, 20.0, 40.0)
+
+#: The fault driving every frontier trial: a process restart exercises
+#: the checkpoint-derived recovery pause (detection + restart + restore
+#: + replay-since-checkpoint) without entangling reschedule mechanics.
+FRONTIER_KIND = "restart"
+
+
+@dataclass(frozen=True)
+class RecoverConfig:
+    """One recovery benchmark: grid cells plus per-engine frontiers."""
+
+    seed: int = 0
+    engines: Tuple[str, ...] = DEFAULT_ENGINES
+    policies: Tuple[str, ...] = POLICY_NAMES
+    kinds: Tuple[str, ...] = FAULT_KINDS
+    intervals: Tuple[float, ...] = DEFAULT_INTERVALS
+    """Checkpoint intervals swept per engine; empty skips the frontier."""
+    duration_s: float = 60.0
+    rate: float = 30_000.0
+    workers: int = 2
+    """SUT cluster size (>= 2 so a crash under mode "none" leaves a
+    survivor to measure instead of a failed trial)."""
+    generator_instances: int = 2
+    fault_fraction: float = 0.4
+    """Injection instant as a fraction of the trial: late enough for a
+    clean baseline window, early enough to observe the full recovery."""
+    latency_bound_s: float = 20.0
+    """End-of-trial queue backlog age tolerated on surviving cells."""
+
+    def __post_init__(self) -> None:
+        if not self.engines:
+            raise ValueError("need at least one engine")
+        if not self.policies:
+            raise ValueError("need at least one policy")
+        for policy in self.policies:
+            if policy not in POLICY_NAMES:
+                raise ValueError(
+                    f"unknown policy {policy!r}; pick from {POLICY_NAMES}"
+                )
+        if not self.kinds:
+            raise ValueError("need at least one fault kind")
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; pick from {FAULT_KINDS}"
+                )
+        for interval in self.intervals:
+            if interval <= 0:
+                raise ValueError(
+                    f"checkpoint intervals must be positive, got {interval}"
+                )
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if not 0.0 < self.fault_fraction < 1.0:
+            raise ValueError(
+                f"fault_fraction must be in (0, 1), got {self.fault_fraction}"
+            )
+
+    @property
+    def fault_at_s(self) -> float:
+        return float(round(self.duration_s * self.fault_fraction, 3))
+
+    def reschedule_policy(self, policy: str) -> ReschedulePolicy:
+        standby = 1 if policy == MODE_STANDBY else 0
+        return ReschedulePolicy(standby_nodes=standby, mode=policy)
+
+    def billed_nodes(self, policy: str) -> int:
+        """Nodes paid for by the cell: workers plus hot standbys (the
+        autoscale scorecard's node-second billing unit)."""
+        return self.workers + (1 if policy == MODE_STANDBY else 0)
+
+
+def fault_event(kind: str, at_s: float) -> FaultEvent:
+    """The one deterministic injection of each benchmarked kind."""
+    if kind == "crash":
+        return NodeCrash(at_s=at_s, nodes=1)
+    if kind == "restart":
+        return ProcessRestart(at_s=at_s, nodes=1)
+    if kind == "slow":
+        return SlowNode(at_s=at_s, nodes=1, factor=0.5, duration_s=8.0)
+    if kind == "partition":
+        return NetworkPartition(at_s=at_s, duration_s=4.0)
+    if kind == "disconnect":
+        return QueueDisconnect(at_s=at_s, queue_index=0, duration_s=4.0)
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def _grid_spec(
+    engine: str, policy: str, kind: str, config: RecoverConfig
+) -> ExperimentSpec:
+    standby = 1 if policy == MODE_STANDBY else 0
+    return ExperimentSpec(
+        engine=engine,
+        query=WindowedAggregationQuery(window=WindowSpec(8.0, 4.0)),
+        workers=config.workers,
+        profile=config.rate,
+        duration_s=config.duration_s,
+        seed=config.seed,
+        generator=GeneratorConfig(instances=config.generator_instances),
+        monitor_resources=False,
+        faults=FaultSchedule((fault_event(kind, config.fault_at_s),)),
+        standby=standby,
+        reschedule=config.reschedule_policy(policy),
+    )
+
+
+def _frontier_spec(
+    engine: str, interval_s: float, config: RecoverConfig
+) -> ExperimentSpec:
+    # GC and emit jitter off: checkpoint pauses shift the GC process's
+    # RNG draw count, so seeded pause noise would differ *per interval*
+    # and smear the monotone trend the frontier exists to expose.
+    return ExperimentSpec(
+        engine=engine,
+        query=WindowedAggregationQuery(window=WindowSpec(8.0, 4.0)),
+        workers=config.workers,
+        profile=config.rate,
+        duration_s=config.duration_s,
+        seed=config.seed,
+        generator=GeneratorConfig(instances=config.generator_instances),
+        engine_config=EngineConfig(gc_rate_per_s=0.0, emit_jitter_sigma=0.0),
+        monitor_resources=False,
+        faults=FaultSchedule(
+            (fault_event(FRONTIER_KIND, config.fault_at_s),)
+        ),
+        checkpoint=CheckpointSpec(interval_s=interval_s),
+    )
+
+
+def _base_digest(
+    result, config: RecoverConfig, violations: List[str]
+) -> Dict[str, object]:
+    fault = None
+    if getattr(result, "recovery", None):
+        fault = result.recovery[0].to_dict()
+    return {
+        "failed": bool(result.failed),
+        "fault": fault,
+        "violations": list(violations),
+    }
+
+
+def _grid_cell_task(payload) -> Dict[str, object]:
+    """Scheduler worker body for one (engine, policy, kind) cell.  The
+    spec is re-derived from the config (pure), so the digest is
+    bit-identical to what the serial loop would produce."""
+    config, engine, policy, kind = payload
+    label = _grid_label(engine, policy, kind)
+    result = run_experiment(_grid_spec(engine, policy, kind, config))
+    violations = check_invariants(
+        result, ChaosConfig(latency_bound_s=config.latency_bound_s), label
+    )
+    digest = _base_digest(result, config, violations)
+    fault = digest["fault"] or {}
+    recovery_time = fault.get("recovery_time_s")
+    digest.update(
+        {
+            "guarantee": engine_class(engine).default_guarantee.value,
+            "ingested_weight": float(
+                result.diagnostics.get("conservation.ingested", 0.0)
+            ),
+            "recovery_cost_node_s": recovery_cost_node_s(
+                billed_nodes=config.billed_nodes(policy),
+                fault_time_s=config.fault_at_s,
+                recovery_time_s=(
+                    float(recovery_time)
+                    if recovery_time is not None
+                    else float("nan")
+                ),
+                duration_s=config.duration_s,
+            ),
+        }
+    )
+    return digest
+
+
+def _frontier_cell_task(payload) -> Dict[str, object]:
+    """Scheduler worker body for one (engine, interval) frontier trial."""
+    config, engine, interval_s = payload
+    label = _frontier_label(engine, interval_s)
+    result = run_experiment(_frontier_spec(engine, interval_s, config))
+    violations = check_invariants(
+        result, ChaosConfig(latency_bound_s=config.latency_bound_s), label
+    )
+    digest = _base_digest(result, config, violations)
+    d = result.diagnostics
+    digest.update(
+        {
+            "overhead_fraction": float(
+                d.get("checkpoint_pause_total_s", 0.0)
+            )
+            / config.duration_s,
+            "checkpoints": int(d.get("checkpoints_completed", 0)),
+        }
+    )
+    return digest
+
+
+def _grid_label(engine: str, policy: str, kind: str) -> str:
+    return f"{engine}/{policy}/{kind}"
+
+
+def _frontier_label(engine: str, interval_s: float) -> str:
+    return f"frontier/{engine}/{interval_s:g}s"
+
+
+@dataclass
+class RecoveryReport:
+    """Everything one recovery benchmark produced."""
+
+    config: RecoverConfig
+    cells: Dict[Tuple[str, str, str], RecoveryEfficiency]
+    frontiers: Dict[str, List[FrontierPoint]]
+    frontier_violations: List[str] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[str]:
+        out: List[str] = list(self.frontier_violations)
+        for cell in self.cells.values():
+            out.extend(cell.violations)
+        return sorted(out)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        frontiers: Dict[str, List[Dict[str, object]]] = {}
+        for engine, points in sorted(self.frontiers.items()):
+            annotated = frontier_points(points)
+            frontiers[engine] = [
+                dict(point.to_dict(), pareto=on_front)
+                for point, on_front in annotated
+            ]
+        return {
+            "seed": self.config.seed,
+            "duration_s": self.config.duration_s,
+            "rate": self.config.rate,
+            "workers": self.config.workers,
+            "fault_at_s": self.config.fault_at_s,
+            "policies": list(self.config.policies),
+            "kinds": list(self.config.kinds),
+            "intervals": list(self.config.intervals),
+            "cells": {
+                "/".join(key): cell.to_dict()
+                for key, cell in sorted(self.cells.items())
+            },
+            "frontiers": frontiers,
+            "violations": self.violations,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialisation -- byte-identical for equal seeds."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render(self) -> str:
+        """ASCII report: efficiency table, then per-engine frontiers."""
+        header = (
+            f"{'engine/policy/kind':<28} {'rec':>3} {'det(s)':>7} "
+            f"{'rst(s)':>7} {'cat(s)':>7} {'total':>7} {'p99x':>6} "
+            f"{'lost%':>7} {'dup%':>7} {'cost(ns)':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        for key, cell in sorted(self.cells.items()):
+            d = cell.to_dict()
+
+            def num(name, fmt="7.2f"):
+                value = d[name]
+                return f"{'n/a':>{fmt.split('.')[0]}}" if value is None else f"{value:>{fmt}}"
+
+            lines.append(
+                f"{'/'.join(key):<28} "
+                f"{'yes' if cell.recovered else 'no':>3} "
+                f"{num('detection_s')} {num('restore_s')} "
+                f"{num('catchup_s')} {num('recovery_time_s')} "
+                f"{num('p99_inflation', '6.2f')} "
+                f"{cell.lost_fraction:>7.3%} "
+                f"{cell.duplicated_fraction:>7.3%} "
+                f"{cell.recovery_cost_node_s:>9.1f}"
+            )
+        for engine, points in sorted(self.frontiers.items()):
+            lines.append("")
+            lines.append(
+                f"checkpoint-interval frontier: {engine} "
+                f"(* = Pareto-efficient)"
+            )
+            sub = (
+                f"  {'interval(s)':>11} {'recovery(s)':>11} "
+                f"{'overhead':>9} {'ckpts':>5}"
+            )
+            lines.append(sub)
+            lines.append("  " + "-" * (len(sub) - 2))
+            for point, on_front in frontier_points(points):
+                recovery = (
+                    f"{point.recovery_time_s:>11.2f}"
+                    if point.recovered
+                    else f"{'never':>11}"
+                )
+                lines.append(
+                    f"  {point.interval_s:>11g} {recovery} "
+                    f"{point.overhead_fraction:>9.4%} "
+                    f"{point.checkpoints:>5}"
+                    + (" *" if on_front else "")
+                )
+        status = "PASS" if self.ok else "FAIL"
+        lines.append("")
+        lines.append(
+            f"{status}: {len(self.cells)} cells + "
+            f"{sum(len(p) for p in self.frontiers.values())} frontier "
+            f"trials, seed {self.config.seed}, "
+            f"{len(self.violations)} invariant violations"
+        )
+        if not self.ok:
+            lines.extend(f"  ! {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+def recover_fingerprint(config: RecoverConfig) -> str:
+    """Journal identity: a resumed benchmark must replay trials only
+    from a journal written by the *same* benchmark.  Scheduler
+    parallelism is deliberately absent -- serial and parallel runs of
+    one config are the same experiment (byte-identical reports)."""
+    return f"recover|{config!r}"
+
+
+def run_recovery_bench(
+    config: RecoverConfig = RecoverConfig(),
+    progress=None,
+    journal: Optional[TrialJournal] = None,
+    workers: int = 1,
+) -> RecoveryReport:
+    """Run the benchmark: every engine under every reschedule policy
+    against every fault kind, plus the checkpoint-interval frontier per
+    engine.  ``progress`` (if given) receives a status line per trial.
+    With a ``journal``, completed trials persist as digests and replay
+    on resume.
+
+    ``workers > 1`` fans trials out over a
+    :class:`~repro.sched.TrialScheduler` process pool.  Execution order
+    changes, nothing else: digests are absorbed in fixed grid order, so
+    the JSON is byte-identical to the serial run.
+    """
+    tasks: List[TrialTask] = []
+    grid: List[Tuple[str, str, str]] = []
+    for engine in config.engines:
+        for policy in config.policies:
+            for kind in config.kinds:
+                grid.append((engine, policy, kind))
+                tasks.append(
+                    TrialTask(
+                        key=_grid_label(engine, policy, kind),
+                        fn=_grid_cell_task,
+                        payload=(config, engine, policy, kind),
+                    )
+                )
+    sweep: List[Tuple[str, float]] = []
+    for engine in config.engines:
+        for interval in config.intervals:
+            sweep.append((engine, interval))
+            tasks.append(
+                TrialTask(
+                    key=_frontier_label(engine, interval),
+                    fn=_frontier_cell_task,
+                    payload=(config, engine, interval),
+                )
+            )
+
+    def status_line(label: str, digest, replayed: str) -> str:
+        fault = digest.get("fault") or {}
+        recovered = "recovered" if fault.get("recovered") else "unrecovered"
+        count = len(digest["violations"])
+        return f"{label}: {recovered}{replayed}" + (
+            f" ({count} violations)" if count else ""
+        )
+
+    on_result = on_replay = None
+    if progress is not None:
+        on_result = lambda label, digest: progress(  # noqa: E731
+            status_line(label, digest, "")
+        )
+        on_replay = lambda label, digest: progress(  # noqa: E731
+            status_line(label, digest, " (journal)")
+        )
+    scheduler = TrialScheduler(workers=workers, journal=journal)
+    digests = scheduler.run(tasks, on_result=on_result, on_replay=on_replay)
+    # Absorb in fixed grid order: report assembly must never see the
+    # completion order (same contract as chaos/autoscale).
+    cells: Dict[Tuple[str, str, str], RecoveryEfficiency] = {}
+    for engine, policy, kind in grid:
+        label = _grid_label(engine, policy, kind)
+        cells[(engine, policy, kind)] = efficiency_from_digest(
+            digests[label], engine, policy, kind
+        )
+    frontiers: Dict[str, List[FrontierPoint]] = {}
+    frontier_violations: List[str] = []
+    for engine, interval in sweep:
+        digest = digests[_frontier_label(engine, interval)]
+        frontiers.setdefault(engine, []).append(
+            point_from_digest(digest, engine, interval)
+        )
+        frontier_violations.extend(digest["violations"])
+    return RecoveryReport(
+        config=config,
+        cells=cells,
+        frontiers=frontiers,
+        frontier_violations=frontier_violations,
+    )

@@ -1,0 +1,52 @@
+"""Pareto-front extraction over minimize-everything objective tuples."""
+
+import pytest
+
+from repro.analysis.pareto import pareto_front
+
+NAN = float("nan")
+
+
+class TestParetoFront:
+    def test_empty_input_gives_empty_front(self):
+        assert pareto_front([]) == []
+
+    def test_single_point_is_on_the_front(self):
+        assert pareto_front([(1.0, 2.0)]) == [0]
+
+    def test_dominated_points_are_excluded(self):
+        # (1, 1) beats (2, 2) on both axes; (0, 3) and (3, 0) trade off.
+        points = [(1.0, 1.0), (2.0, 2.0), (0.0, 3.0), (3.0, 0.0)]
+        assert pareto_front(points) == [0, 2, 3]
+
+    def test_strict_improvement_on_one_axis_is_required(self):
+        # Equal on one axis, better on the other still dominates.
+        assert pareto_front([(1.0, 1.0), (1.0, 2.0)]) == [0]
+
+    def test_duplicates_are_all_kept(self):
+        # Neither twin strictly beats the other.
+        assert pareto_front([(1.0, 1.0), (1.0, 1.0)]) == [0, 1]
+
+    def test_result_is_sorted_by_index(self):
+        points = [(3.0, 0.0), (0.0, 3.0), (1.0, 1.0)]
+        front = pareto_front(points)
+        assert front == sorted(front)
+
+    def test_nan_points_never_join_the_front(self):
+        assert pareto_front([(NAN, 0.0), (1.0, 1.0)]) == [1]
+
+    def test_nan_points_never_dominate(self):
+        # The NaN point would dominate on the finite axis if NaN were
+        # treated as small; it must not knock out the measured point.
+        assert pareto_front([(NAN, NAN), (5.0, 5.0)]) == [1]
+
+    def test_all_nan_gives_empty_front(self):
+        assert pareto_front([(NAN, 1.0), (2.0, NAN)]) == []
+
+    def test_mixed_objective_counts_raise(self):
+        with pytest.raises(ValueError):
+            pareto_front([(1.0, 2.0), (1.0,)])
+
+    def test_three_objectives(self):
+        points = [(1.0, 1.0, 1.0), (2.0, 0.5, 2.0), (2.0, 2.0, 2.0)]
+        assert pareto_front(points) == [0, 1]

@@ -152,3 +152,93 @@ class TestComputeRecoveryMetrics:
         assert payload["injected_pause_s"] == 8.0
         assert not m.recovered
         assert "never" in m.describe()
+
+
+def _metrics(**overrides):
+    base = dict(
+        kind="crash",
+        fault_time_s=60.0,
+        detection_s=2.0,
+        injected_pause_s=6.0,
+        recovery_time_s=10.0,
+        catchup_throughput=3e5,
+        baseline_latency_s=1.0,
+        baseline_p99_s=1.2,
+        post_p99_s=1.1,
+        lost_weight=0.0,
+        duplicated_weight=0.0,
+    )
+    base.update(overrides)
+    return RecoveryMetrics(**base)
+
+
+class TestPhaseDecomposition:
+    def test_phases_partition_the_recovery_window(self):
+        m = _metrics()
+        assert m.detection_phase_s == 2.0
+        assert m.restore_phase_s == 4.0
+        assert m.catchup_phase_s == 4.0
+        total = m.detection_phase_s + m.restore_phase_s + m.catchup_phase_s
+        assert total == pytest.approx(m.recovery_time_s, abs=1e-12)
+
+    def test_model_outage_longer_than_measured_window_is_clamped(self):
+        # The outage is model-derived, the recovery time read off binned
+        # latency; when they disagree the phases clamp into the window.
+        m = _metrics(injected_pause_s=50.0, recovery_time_s=10.0)
+        assert m.detection_phase_s == 2.0
+        assert m.restore_phase_s == 8.0
+        assert m.catchup_phase_s == 0.0
+
+    def test_nan_detection_and_pause_count_as_zero(self):
+        # Transient faults log no detection and no derived pause; the
+        # whole window is catch-up, never NaN.
+        m = _metrics(
+            detection_s=float("nan"), injected_pause_s=float("nan")
+        )
+        assert m.detection_phase_s == 0.0
+        assert m.restore_phase_s == 0.0
+        assert m.catchup_phase_s == m.recovery_time_s
+
+    def test_unrecovered_has_no_decomposition(self):
+        m = _metrics(recovery_time_s=float("nan"))
+        assert math.isnan(m.detection_phase_s)
+        assert math.isnan(m.restore_phase_s)
+        assert math.isnan(m.catchup_phase_s)
+
+
+class TestExportRegression:
+    """Never-recovered trials must export ``recovered: false`` with
+    explicit null phases -- not silently drop keys or print NaN."""
+
+    def test_unrecovered_exports_recovered_false_and_null_phases(self):
+        payload = _metrics(
+            recovery_time_s=float("nan"),
+            catchup_throughput=float("nan"),
+            post_p99_s=float("nan"),
+        ).to_dict()
+        assert payload["recovered"] is False
+        assert payload["detection_phase_s"] is None
+        assert payload["restore_phase_s"] is None
+        assert payload["catchup_phase_s"] is None
+        assert payload["recovery_time_s"] is None
+
+    def test_recovered_exports_numeric_phases(self):
+        payload = _metrics().to_dict()
+        assert payload["recovered"] is True
+        assert payload["detection_phase_s"] == 2.0
+        assert payload["restore_phase_s"] == 4.0
+        assert payload["catchup_phase_s"] == 4.0
+
+    def test_export_is_json_round_trippable(self):
+        import json
+
+        payload = _metrics(recovery_time_s=float("nan")).to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_describe_never_prints_nan(self):
+        text = _metrics(
+            recovery_time_s=float("nan"), catchup_throughput=float("nan")
+        ).describe()
+        assert "nan" not in text
+        assert "never" in text
+        assert "n/a" in text

@@ -14,6 +14,7 @@ from repro.recovery.chaos import (
     DEFAULT_POLICIES,
     ChaosConfig,
     ChaosPolicy,
+    Scorecard,
     chaos_fingerprint,
     check_invariants,
     random_fault_schedule,
@@ -345,3 +346,121 @@ class TestInvariantChecker:
 
         violations = check_invariants(Forged(), SMALL, "forged")
         assert any("ingest ledger" in v for v in violations)
+
+
+class TestRecoveryDecompositionColumns:
+    """PR 9: scorecards carry the detect/restore/catch-up phase means
+    and per-fault guarantee weights the recovery benchmark reads."""
+
+    def _digest(self, recovery):
+        return {
+            "failed": False,
+            "end_queue_delay_s": 0.0,
+            "faults_injected": float(len(recovery)),
+            "shed_weight": 0.0,
+            "standbys_promoted": 0.0,
+            "lost_weight": 0.0,
+            "duplicated_weight": 0.0,
+            "recovery": recovery,
+            "violations": [],
+        }
+
+    def _entry(self, **overrides):
+        base = {
+            "detection_s": 2.0,
+            "migrated_bytes": 0.0,
+            "recovered": True,
+            "recovery_time_s": 9.0,
+            "detection_phase_s": 2.0,
+            "restore_phase_s": 3.0,
+            "catchup_phase_s": 4.0,
+            "catchup_throughput": 1e5,
+            "lost_weight": 10.0,
+            "duplicated_weight": 5.0,
+        }
+        base.update(overrides)
+        return base
+
+    def test_phase_means_and_weights_aggregate(self):
+        card = Scorecard(engine="flink", policy="baseline")
+        card.absorb_digest(self._digest([self._entry()]))
+        card.absorb_digest(
+            self._digest(
+                [
+                    self._entry(
+                        detection_phase_s=4.0,
+                        restore_phase_s=5.0,
+                        catchup_phase_s=6.0,
+                        lost_weight=2.0,
+                        duplicated_weight=1.0,
+                    )
+                ]
+            )
+        )
+        payload = card.to_dict()
+        assert payload["detect_phase_s_mean"] == 3.0
+        assert payload["restore_phase_s_mean"] == 4.0
+        assert payload["catchup_phase_s_mean"] == 5.0
+        assert payload["fault_lost_weight"] == 12.0
+        assert payload["fault_duplicated_weight"] == 6.0
+
+    def test_unrecovered_faults_contribute_no_phases(self):
+        card = Scorecard(engine="flink", policy="baseline")
+        card.absorb_digest(
+            self._digest(
+                [
+                    self._entry(
+                        recovered=False,
+                        recovery_time_s=None,
+                        detection_phase_s=None,
+                        restore_phase_s=None,
+                        catchup_phase_s=None,
+                    )
+                ]
+            )
+        )
+        payload = card.to_dict()
+        assert payload["faults_unrecovered"] == 1
+        assert payload["detect_phase_s_mean"] == 0.0
+        # The unrecovered fault's exposure still counts.
+        assert payload["fault_lost_weight"] == 10.0
+
+    def test_absorbs_pre_pr9_digests_without_phase_keys(self):
+        # Old journals lack the phase/weight keys; absorbing them must
+        # not crash (the fingerprint bump keeps them out of *resumes*,
+        # but absorb_digest stays total on old shapes).
+        entry = self._entry()
+        for key in (
+            "detection_phase_s",
+            "restore_phase_s",
+            "catchup_phase_s",
+            "lost_weight",
+            "duplicated_weight",
+        ):
+            del entry[key]
+        card = Scorecard(engine="flink", policy="baseline")
+        card.absorb_digest(self._digest([entry]))
+        payload = card.to_dict()
+        assert payload["faults_recovered"] == 1
+        assert payload["detect_phase_s_mean"] == 0.0
+        assert payload["fault_lost_weight"] == 0.0
+
+    def test_fingerprint_carries_the_digest_schema_version(self):
+        # Resuming a pre-PR-9 journal must mismatch loudly, not blend
+        # old digests (without phase columns) into new scorecards.
+        assert chaos_fingerprint(SMALL).startswith("chaos|v2|")
+
+    def test_render_shows_the_decomposition(self):
+        card = Scorecard(engine="flink", policy="baseline")
+        card.absorb_digest(self._digest([self._entry()]))
+        from repro.recovery.chaos import ChaosReport
+
+        report = ChaosReport(
+            config=SMALL,
+            schedules=[],
+            scorecards={("flink", "baseline"): card},
+        )
+        text = report.render()
+        assert "det(s)" in text
+        assert "rst(s)" in text
+        assert "cat(s)" in text

@@ -1,0 +1,98 @@
+"""Property tests: recovery phase geometry under arbitrary inputs.
+
+The detection / restore / catch-up decomposition must be a *partition*
+of the measured recovery window no matter what the instruments fed in:
+NaN detection, model pauses longer than the measured window, transient
+faults with no pause at all.  The first class drives the pure math with
+Hypothesis-drawn floats; the second checks the same geometry on real
+trials under randomized fault schedules on every engine.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.engines.ext  # noqa: F401  (registers heron/samza)
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.generator import GeneratorConfig
+from repro.faults.metrics import RecoveryMetrics
+from repro.recovery.chaos import ChaosConfig, random_fault_schedule
+from repro.workloads.queries import WindowSpec, WindowedAggregationQuery
+
+ENGINES = ("flink", "storm", "spark", "heron", "samza")
+
+finite_s = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+maybe_nan_s = st.one_of(finite_s, st.just(float("nan")))
+
+
+def assert_phase_geometry(m: RecoveryMetrics) -> None:
+    det = m.detection_phase_s
+    rst = m.restore_phase_s
+    cat = m.catchup_phase_s
+    if not m.recovered:
+        assert math.isnan(det) and math.isnan(rst) and math.isnan(cat)
+        return
+    assert det >= 0.0 and rst >= 0.0 and cat >= 0.0
+    assert det <= det + rst <= m.recovery_time_s + 1e-9
+    assert det + rst + cat == pytest.approx(m.recovery_time_s, abs=1e-9)
+
+
+class TestPhaseGeometryPure:
+    @given(
+        detection=maybe_nan_s,
+        pause=maybe_nan_s,
+        recovery=maybe_nan_s,
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_phases_partition_any_window(self, detection, pause, recovery):
+        m = RecoveryMetrics(
+            kind="crash",
+            fault_time_s=10.0,
+            detection_s=detection,
+            injected_pause_s=pause,
+            recovery_time_s=recovery,
+            catchup_throughput=1e5,
+            baseline_latency_s=1.0,
+            baseline_p99_s=1.0,
+            post_p99_s=1.0,
+            lost_weight=0.0,
+            duplicated_weight=0.0,
+        )
+        assert_phase_geometry(m)
+
+
+def _spec(engine: str, schedule, duration_s: float) -> ExperimentSpec:
+    return ExperimentSpec(
+        engine=engine,
+        query=WindowedAggregationQuery(window=WindowSpec(8.0, 4.0)),
+        workers=2,
+        profile=20_000.0,
+        duration_s=duration_s,
+        seed=11,
+        generator=GeneratorConfig(instances=2),
+        monitor_resources=False,
+        faults=schedule,
+    )
+
+
+class TestPhaseGeometryOnTrials:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @given(schedule_seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_every_fault_decomposes(self, engine, schedule_seed):
+        config = ChaosConfig(seed=0, rounds=1, duration_s=30.0, rate=20_000.0)
+        schedule = random_fault_schedule(
+            np.random.default_rng(schedule_seed), config
+        )
+        result = run_experiment(_spec(engine, schedule, config.duration_s))
+        for metrics in result.recovery:
+            assert_phase_geometry(metrics)
