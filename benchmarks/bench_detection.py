@@ -1,0 +1,186 @@
+"""Detection-quality gate: phi-accrual must beat the fixed timeout.
+
+Gray failures are where detector choice matters: a flapping node keeps
+resetting a fixed timeout just before it fires, and a fail-slow ramp
+stretches heartbeat gaps so gradually that a timeout tuned for crashes
+fires late or never.  An adaptive accrual detector (Hayashibara et
+al.'s phi) models the inter-arrival history instead, so it should
+convict both families *earlier* without buying that speed with false
+positives.  This run gates (non-zero exit) on exactly that claim, at an
+equal false-positive budget:
+
+1. **Equal FP budget** -- on every gray scenario, phi raises no more
+   false positives than the timeout detector, and *neither* raises any
+   on a calm (fault-free) trial.
+2. **Strictly earlier detection** -- phi's mean detection latency over
+   the gray scenarios is strictly lower than the timeout detector's.
+   An undetected episode (false negative) is charged a penalty latency
+   of ``episode duration + detection timeout`` -- the earliest a
+   detector that missed the whole window could possibly have acted --
+   so "never fired" can win no latency contest.
+3. **Cascade sanity** -- no detector chains suspect migrations deeper
+   than the cluster size on these single-fault scenarios.
+
+The quorum detector rides along for the report (its value is asymmetric
+-partition splits, not latency) but only phi vs timeout gates.
+
+Run directly (not collected by the tier-1 pytest run)::
+
+    PYTHONPATH=src python benchmarks/bench_detection.py          # full grid
+    PYTHONPATH=src python benchmarks/bench_detection.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from repro.core.experiment import ExperimentSpec, run_experiment
+from repro.core.generator import GeneratorConfig
+from repro.detect.plane import detector_spec
+from repro.faults.checkpoint import CheckpointSpec
+from repro.faults.schedule import (
+    DegradingNode,
+    FaultEvent,
+    FaultSchedule,
+    FlappingNode,
+)
+from repro.recovery.reschedule import MODE_STANDBY, ReschedulePolicy
+from repro.workloads.queries import WindowSpec, WindowedAggregationQuery
+
+ENGINE = "flink"
+DETECTORS = ("timeout", "phi", "quorum")
+GATED = ("timeout", "phi")
+
+
+def _scenarios(quick: bool) -> List[Tuple[str, Optional[FaultEvent]]]:
+    """(name, fault) pairs; the calm scenario is the FP control."""
+    scenarios: List[Tuple[str, Optional[FaultEvent]]] = [
+        ("flap", FlappingNode(at_s=12.0, duration_s=16.0, node=1,
+                              period_s=6.0, duty=0.5, seed=7)),
+        ("degrade-0.2", DegradingNode(at_s=12.0, duration_s=14.0, node=1,
+                                      floor_factor=0.2)),
+    ]
+    if not quick:
+        scenarios += [
+            ("flap-fast", FlappingNode(at_s=12.0, duration_s=16.0, node=1,
+                                       period_s=4.0, duty=0.4, seed=3)),
+            ("degrade-0.3", DegradingNode(at_s=12.0, duration_s=14.0,
+                                          node=1, floor_factor=0.3)),
+        ]
+    scenarios.append(("calm", None))
+    return scenarios
+
+
+def _run(detector: str, fault: Optional[FaultEvent], seed: int):
+    spec = ExperimentSpec(
+        engine=ENGINE,
+        query=WindowedAggregationQuery(window=WindowSpec(8.0, 4.0)),
+        workers=2,
+        profile=20_000.0,
+        duration_s=40.0,
+        seed=seed,
+        generator=GeneratorConfig(instances=2),
+        monitor_resources=False,
+        faults=FaultSchedule((fault,)) if fault is not None else None,
+        standby=1,
+        reschedule=ReschedulePolicy(standby_nodes=1, mode=MODE_STANDBY),
+        detector=detector_spec(detector),
+    )
+    return run_experiment(spec)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: one scenario per gray family",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    penalty_timeout = CheckpointSpec().detection_timeout_s
+    scenarios = _scenarios(args.quick)
+    failures: List[str] = []
+    # detector -> (penalised latencies over gray scenarios, total FPs)
+    latencies = {d: [] for d in DETECTORS}
+    fp_total = {d: 0 for d in DETECTORS}
+
+    lines = [
+        f"{'scenario':<12} {'detector':<8} {'tp':>3} {'fp':>3} {'fn':>3} "
+        f"{'latency(s)':>11} {'cascade':>7}",
+        "-" * 54,
+    ]
+    for name, fault in scenarios:
+        for detector in DETECTORS:
+            result = _run(detector, fault, args.seed)
+            det = result.detection
+            if result.failed:
+                failures.append(f"{name}/{detector}: trial failed")
+                continue
+            per_episode = list(det.detection_latencies_s)
+            if fault is not None:
+                per_episode += [fault.duration_s + penalty_timeout] * (
+                    det.false_negatives
+                )
+                latencies[detector].extend(per_episode)
+                fp_total[detector] += det.false_positives
+            mean = (
+                sum(per_episode) / len(per_episode) if per_episode
+                else float("nan")
+            )
+            lines.append(
+                f"{name:<12} {detector:<8} {det.true_positives:>3} "
+                f"{det.false_positives:>3} {det.false_negatives:>3} "
+                f"{mean:>11.2f} {det.cascade_depth_max:>7}"
+            )
+            if fault is None and det.false_positives:
+                failures.append(
+                    f"calm/{detector}: {det.false_positives} false "
+                    "positive(s) with no fault injected"
+                )
+            if det.cascade_depth_max > 2:
+                failures.append(
+                    f"{name}/{detector}: cascade depth "
+                    f"{det.cascade_depth_max} exceeds the cluster size"
+                )
+
+    if fp_total["phi"] > fp_total["timeout"]:
+        failures.append(
+            f"phi spent a larger FP budget than timeout "
+            f"({fp_total['phi']} > {fp_total['timeout']})"
+        )
+    for detector in GATED:
+        if not latencies[detector]:
+            failures.append(f"{detector}: no gray episodes scored")
+    if all(latencies[d] for d in GATED):
+        means = {
+            d: sum(latencies[d]) / len(latencies[d]) for d in GATED
+        }
+        if not means["phi"] < means["timeout"]:
+            failures.append(
+                f"phi mean detection latency {means['phi']:.2f}s is not "
+                f"strictly below timeout's {means['timeout']:.2f}s "
+                "(FN-penalised, equal FP budget)"
+            )
+        else:
+            lines.append(
+                f"gate: phi {means['phi']:.2f}s < timeout "
+                f"{means['timeout']:.2f}s mean detection latency "
+                f"(FP budget {fp_total['phi']} <= {fp_total['timeout']})"
+            )
+
+    lines.append("-" * 54)
+    status = "PASS" if not failures else "FAIL"
+    lines.append(
+        f"{status}: {len(scenarios)} scenarios x {len(DETECTORS)} "
+        f"detectors, seed {args.seed}"
+    )
+    lines.extend(f"  ! {failure}" for failure in failures)
+    print("\n".join(lines))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

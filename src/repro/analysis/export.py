@@ -51,6 +51,8 @@ def trial_to_dict(
     }
     if result.recovery is not None:
         payload["recovery"] = [m.to_dict() for m in result.recovery]
+    if result.detection is not None:
+        payload["detection"] = result.detection.to_dict()
     if result.autoscale is not None:
         payload["autoscale"] = [m.to_dict() for m in result.autoscale]
     if result.attempts is not None:

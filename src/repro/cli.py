@@ -79,12 +79,16 @@ from repro.core.sustainable import (
     sweep_sustainable_rates,
 )
 from repro.engines import ENGINES, engine_class
+from repro.detect.plane import DETECTOR_KINDS, detector_spec
 from repro.faults import (
+    AsymmetricPartition,
     CheckpointSpec,
+    DegradingNode,
     DeliveryGuarantee,
     DriverNodeSlow,
     DriverQueueLoss,
     FaultSchedule,
+    FlappingNode,
     GeneratorCrash,
     NetworkPartition,
     NodeCrash,
@@ -128,6 +132,11 @@ FAULT_KINDS = {
     "slow": lambda at, dur: SlowNode(at_s=at, duration_s=dur or 30.0),
     "partition": lambda at, dur: NetworkPartition(at_s=at, duration_s=dur or 10.0),
     "disconnect": lambda at, dur: QueueDisconnect(at_s=at, duration_s=dur or 10.0),
+    # Gray failures (PR 10): node 0 by default; target other nodes by
+    # constructing the event in Python (see examples/gray_failure.py).
+    "flap": lambda at, dur: FlappingNode(at_s=at, duration_s=dur or 20.0),
+    "degrade": lambda at, dur: DegradingNode(at_s=at, duration_s=dur or 20.0),
+    "asympart": lambda at, dur: AsymmetricPartition(at_s=at, duration_s=dur or 10.0),
 }
 
 
@@ -148,7 +157,8 @@ def parse_fault(text: str):
     except ValueError as exc:
         raise argparse.ArgumentTypeError(
             f"invalid fault {text!r}: {exc} "
-            "(examples: crash@60, slow@30:20, partition@100:10)"
+            "(examples: crash@60, slow@30:20, partition@100:10, "
+            "flap@40:20, degrade@40:20, asympart@40:10)"
         ) from None
 
 
@@ -351,6 +361,7 @@ def build_spec(args: argparse.Namespace, rate: Optional[float] = None):
         degradation=build_degradation(args),
         clock_skew=build_clock_skew(args),
         autoscale=build_autoscale(args),
+        detector=detector_spec(getattr(args, "detector", None)),
     )
 
 
@@ -456,6 +467,16 @@ def add_common_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--detector", choices=list(DETECTOR_KINDS), default=None,
+        help=(
+            "drive suspect migrations from a heartbeat failure detector: "
+            "timeout = today's fixed-timeout semantics made explicit, "
+            "phi = Hayashibara accrual, quorum = k-of-n observers "
+            "(default: off; recovery behaviour then matches builds "
+            "without the detection plane byte for byte)"
+        ),
+    )
+    parser.add_argument(
         "--clock-skew", type=parse_clock_skew, default=None,
         metavar="OFF_MS[:PPM[:RES_MS[:INT_S]]]",
         help=(
@@ -554,6 +575,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("  fault recovery:")
         for fault in result.recovery:
             print(f"    {fault.describe()}")
+    if result.detection is not None:
+        det = result.detection
+        lat = det.detection_latency_mean_s
+        lat_text = f"{lat:.2f}s mean" if lat == lat else "n/a"
+        print(
+            f"  detection ({det.detector}): {det.true_positives} TP, "
+            f"{det.false_positives} FP, {det.false_negatives} FN over "
+            f"{det.episodes} episode(s); latency {lat_text}; "
+            f"{det.actions} suspect migration(s), "
+            f"{det.spurious_migration_node_s:.1f} spurious node-s, "
+            f"cascade depth {det.cascade_depth_max}"
+            + (", METASTABLE" if det.metastable else "")
+        )
     if result.autoscale:
         cost = result.diagnostics.get("autoscale.cost_node_seconds", 0.0)
         print(f"  autoscale ({cost:.0f} node-seconds billed):")
@@ -709,6 +743,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         rate=args.rate,
         workers=args.sut_workers,
         driver_faults=not args.no_driver_faults,
+        detector=args.detector,
+        gray_faults=args.gray,
     )
     journal = None
     if args.journal:
@@ -752,6 +788,7 @@ def cmd_recover(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         rate=args.rate,
         workers=args.sut_workers,
+        detector=args.detector,
     )
     journal = None
     if args.journal:
@@ -978,6 +1015,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     chaos_parser.add_argument(
+        "--detector", choices=list(DETECTOR_KINDS), default=None,
+        help=(
+            "drive suspect migrations from this failure detector on "
+            "every trial (default: off; the scorecard is then "
+            "byte-identical to a build without the detection plane)"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--gray", action="store_true",
+        help=(
+            "mix gray failures (flapping node, fail-slow ramp, "
+            "asymmetric partition) into the random schedules"
+        ),
+    )
+    chaos_parser.add_argument(
         "--journal", type=str, default=None, metavar="PATH",
         help="checkpoint each completed trial digest to this JSON journal",
     )
@@ -1055,6 +1107,14 @@ def build_parser() -> argparse.ArgumentParser:
     recover_parser.add_argument(
         "--output", type=str, default=None,
         help="write the recovery report as JSON to this path",
+    )
+    recover_parser.add_argument(
+        "--detector", choices=list(DETECTOR_KINDS), default=None,
+        help=(
+            "drive suspect migrations from this failure detector on "
+            "every cell (default: off; the report is then "
+            "byte-identical to a build without the detection plane)"
+        ),
     )
     recover_parser.add_argument(
         "--journal", type=str, default=None, metavar="PATH",

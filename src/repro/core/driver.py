@@ -35,6 +35,7 @@ from repro.core.latency import EVENT_TIME, PROCESSING_TIME, LatencyCollector
 from repro.core.metrics import StatSummary
 from repro.core.queues import QueueSet
 from repro.core.throughput import ThroughputMonitor
+from repro.detect.metrics import DetectionMetrics
 from repro.engines.base import StreamingEngine
 from repro.engines.operators.sink import Sink
 from repro.faults.metrics import RecoveryMetrics
@@ -93,6 +94,9 @@ class TrialResult:
     """Per-scaling-event time-to-resustain metrology (populated when the
     trial ran with an :class:`~repro.autoscale.policy.AutoscaleSpec`;
     ``None`` for fixed-size trials)."""
+    detection: Optional["DetectionMetrics"] = None
+    """Detection-quality metrology (populated when the trial ran with an
+    :class:`~repro.detect.plane.DetectorSpec`; ``None`` otherwise)."""
 
     @property
     def failed(self) -> bool:

@@ -25,6 +25,7 @@ from repro.core.broker import BrokerSpec, BrokerStage
 from repro.core.driver import BenchmarkDriver, TrialResult
 from repro.core.generator import GeneratorConfig, build_generator_fleet
 from repro.core.queues import DriverQueue, QueueSet
+from repro.detect.plane import DetectionPlane, DetectorSpec
 from repro.engines import engine_class
 from repro.engines.base import EngineConfig
 from repro.faults.checkpoint import CheckpointSpec
@@ -114,6 +115,11 @@ class ExperimentSpec:
     from obs-registry signals (see :mod:`repro.autoscale`).  Requires
     metrics sampling; when :attr:`observability` is ``None`` a
     metrics-only ObsSpec is enabled automatically."""
+    detector: Optional[DetectorSpec] = None
+    """Failure-detection plane: seeded heartbeats feeding a pluggable
+    detector whose verdicts drive evictions (see :mod:`repro.detect`).
+    ``None`` (the default) runs without any detection plane -- the
+    pre-existing fixed-timeout supervisor semantics, bit for bit."""
 
     def resolved_faults(self) -> Optional[FaultSchedule]:
         """The effective fault schedule: ``faults``, or ``node_failure``
@@ -268,6 +274,23 @@ def run_experiment(
         for event in faults.ordered():
             if event.driver_side:
                 sim.schedule_at(event.at_s, driver.inject_fault, event)
+    detection = None
+    if spec.detector is not None:
+        # Built after the engine's fault injections are scheduled so
+        # the plane's same-timestamp handlers fire after them (the
+        # simulator preserves insertion order on ties) and can read the
+        # engine-derived pause from the fault log.  The plane draws
+        # only from its own name-keyed RNG stream, so enabling it never
+        # perturbs generator or engine randomness.
+        detection = DetectionPlane(
+            sim=sim,
+            engine=engine,
+            spec=spec.detector,
+            schedule=faults,
+            rng=rng.stream("detect"),
+            duration_s=spec.duration_s,
+        )
+        detection.install()
     autoscaler = None
     if spec.autoscale is not None:
         assert obs is not None  # guaranteed by the ObsSpec fallback above
@@ -304,6 +327,9 @@ def run_experiment(
             for event in rescale_timeline_events(result.autoscale):
                 result.observability.trace_log.add_event(**event)
             result.observability.trace_log.annotate()
+    if detection is not None:
+        result.detection = detection.finalize(result)
+        result.diagnostics.update(detection.diagnostics())
     if skew is not None and result.observability is not None:
         # NTP sync epochs as timeline annotations: a latency step that
         # coincides with a sync is a clock artifact, not a SUT event.

@@ -1,0 +1,44 @@
+"""repro.detect -- the pluggable failure-detection plane.
+
+Until this package existed, failure detection in the framework was one
+constant (``detection_timeout_s``).  Here it becomes a benchmarkable
+axis: seeded per-worker heartbeats on the simulated sampling clock
+(:mod:`repro.detect.plane`), exchangeable detector contracts --
+fixed timeout, phi-accrual, k-of-n quorum
+(:mod:`repro.detect.detectors`) -- and detection-quality metrology
+(false positives/negatives, detection-latency distributions, spurious
+migration node-seconds, cascade depth, metastability;
+:mod:`repro.detect.metrics`).  Verdicts drive real evictions through
+:meth:`repro.recovery.reschedule.ReschedulePolicy.plan_suspect`, so a
+trigger-happy detector pays for its mistakes in migration pauses.
+
+Enable per trial with ``ExperimentSpec(detector=DetectorSpec(...))``
+or ``--detector {timeout,phi,quorum}`` on ``repro run/chaos/recover``.
+"""
+
+from repro.detect.detectors import (
+    FailureDetector,
+    PhiAccrualDetector,
+    QuorumDetector,
+    TimeoutDetector,
+)
+from repro.detect.metrics import DetectionMetrics, VerdictEvent
+from repro.detect.plane import (
+    DETECTOR_KINDS,
+    DetectionPlane,
+    DetectorSpec,
+    detector_spec,
+)
+
+__all__ = [
+    "DETECTOR_KINDS",
+    "DetectionMetrics",
+    "DetectionPlane",
+    "DetectorSpec",
+    "FailureDetector",
+    "PhiAccrualDetector",
+    "QuorumDetector",
+    "TimeoutDetector",
+    "VerdictEvent",
+    "detector_spec",
+]

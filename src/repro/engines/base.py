@@ -65,7 +65,10 @@ from repro.recovery.reschedule import (
 from repro.faults.checkpoint import CheckpointSpec, RecoverySemantics
 from repro.faults.guarantees import DeliveryGuarantee, GuaranteeAccounting
 from repro.faults.schedule import (
+    AsymmetricPartition,
+    DegradingNode,
     FaultEvent,
+    FlappingNode,
     NetworkPartition,
     NodeCrash,
     ProcessRestart,
@@ -233,6 +236,9 @@ class StreamingEngine(ABC):
         self._rescale_busy_until = -1.0
         self._migration_until = -1.0
         self._rescale_pause_total = 0.0
+        self._gray_abandoned: set = set()
+        self._suspect_pause_total = 0.0
+        self._suspect_migrations = 0
         self._hot_fraction = query.keys.hot_fraction()
         self._ingest_bytes_per_event = self._mean_event_bytes()
         self._result_bytes_per_output_weight = (
@@ -510,6 +516,12 @@ class StreamingEngine(ABC):
             self._apply_partition(event.duration_s)
         elif isinstance(event, QueueDisconnect):
             self._apply_disconnect(event.queue_index, event.duration_s)
+        elif isinstance(event, FlappingNode):
+            self._apply_flap(event)
+        elif isinstance(event, DegradingNode):
+            self._apply_degrade(event)
+        elif isinstance(event, AsymmetricPartition):
+            self._apply_asympart(event)
         else:  # pragma: no cover - schedule validation prevents this
             raise TypeError(f"unknown fault event {type(event).__name__}")
 
@@ -714,6 +726,148 @@ class StreamingEngine(ABC):
             return
         self.source.disconnect(queue_index, until=self.sim.now + duration_s)
         self._log_fault("disconnect", pause_s=0.0)
+
+    def _apply_flap(self, event: FlappingNode) -> None:
+        """Worker ``event.node`` oscillates: during each seeded down
+        segment the node contributes no capacity (like a transient
+        one-node outage); between segments it is fully back.  No state
+        is exposed -- the process survives, its machine just blinks.
+        The heartbeat consequences live in :mod:`repro.detect`; here
+        only capacity is modulated, via the same ``_slow_events``
+        mechanism as stragglers."""
+        if self.failed:
+            return
+        segments = event.down_segments()
+        for start, end in segments:
+            self.sim.schedule_at(start, self._gray_segment, event.node, end, 0.0)
+        self._log_fault(
+            "flap",
+            pause_s=0.0,
+            node=float(event.node),
+            segments=float(len(segments)),
+            duration_s=event.duration_s,
+        )
+
+    def _apply_degrade(self, event: DegradingNode) -> None:
+        """Fail-slow on ``event.node``: capacity ramps down the
+        piecewise-constant schedule of ``event.segments()``.  Unlike
+        :class:`SlowNode` there is no supervisor-driven standby
+        replacement here -- a ramping gray fault is exactly what the
+        fixed-timeout supervisor cannot see; only a detection-plane
+        verdict (``apply_suspect_migration``) can end it early."""
+        if self.failed:
+            return
+        for start, end, factor in event.segments():
+            self.sim.schedule_at(
+                start, self._gray_segment, event.node, end, factor
+            )
+        self._log_fault(
+            "degrade",
+            pause_s=0.0,
+            node=float(event.node),
+            floor_factor=event.floor_factor,
+            duration_s=event.duration_s,
+        )
+
+    def _apply_asympart(self, event: AsymmetricPartition) -> None:
+        """One-way link loss on ``event.node``.  The ``data`` direction
+        cuts the node's ingest (it contributes no capacity for the
+        window, like a one-node partition); the ``heartbeat`` direction
+        is invisible to the data plane entirely -- its only effects are
+        control-plane (:mod:`repro.detect`)."""
+        if self.failed:
+            return
+        if event.direction == "data":
+            self.sim.schedule_at(
+                event.at_s, self._gray_segment, event.node, event.end_s, 0.0
+            )
+        self._log_fault(
+            "asympart",
+            pause_s=0.0,
+            node=float(event.node),
+            data_cut=1.0 if event.direction == "data" else 0.0,
+            duration_s=event.duration_s,
+        )
+
+    def _gray_segment(self, node: int, until: float, factor: float) -> None:
+        """One gray capacity segment begins on ``node``: the node runs
+        at ``factor`` of its speed until ``until`` (0.0 = down).
+        Skipped once the node has been migrated away on a detector
+        verdict -- an abandoned node degrades nothing.  A segment
+        already in effect when the node is abandoned runs out on its
+        own (bounded by the segment length); only future segments are
+        cancelled."""
+        if self.failed or node in self._gray_abandoned:
+            return
+        active = self._active_workers
+        if active <= 0:
+            return
+        multiplier = max(0.0, (active - 1 + factor) / active)
+        self._slow_events.append((until, multiplier))
+
+    def apply_suspect_migration(
+        self, node: int, *, spurious: bool
+    ) -> Optional[Dict[str, float]]:
+        """A failure detector convicted live worker ``node``: evict it.
+
+        This is the verdict-to-action seam of :mod:`repro.detect`.  The
+        scheduler cannot distinguish a true conviction from a false
+        positive, so the cost is identical either way: the suspect's
+        state moves over the NIC (``ReschedulePolicy.plan_suspect``)
+        onto a promoted standby when one is available -- else spread
+        over the survivors, shrinking the cluster by one -- and the
+        pipeline pauses for the migration.  ``spurious`` is carried
+        into the fault log purely as metrology (the plane's ground
+        truth); it never changes behaviour.  Returns None (and does
+        nothing) when the policy declines to act.
+        """
+        if self.failed or self._active_workers <= 0:
+            return None
+        active = self._active_workers
+        plan = self.reschedule.plan_suspect(
+            active=active,
+            standbys_left=self._standbys_available,
+            state_bytes=self.state.used_bytes,
+            node=self.cluster.node,
+        )
+        if plan.promoted == 0 and plan.survivors == active:
+            return None
+        self._gray_abandoned.add(node)
+        if plan.promoted:
+            # The spare takes the suspect's slots once the migration
+            # lands: headcount is unchanged, only the pause is paid.
+            self._standbys_available -= plan.promoted
+            self.standbys_promoted += plan.promoted
+        else:
+            self._active_workers -= 1
+            self._dead_workers += 1
+        pause = plan.migration_pause_s
+        self._suspect_migrations += 1
+        self._pause_for_suspect(pause)
+        self._log_fault(
+            "suspect",
+            pause_s=pause,
+            node=float(node),
+            spurious=1.0 if spurious else 0.0,
+            promoted=float(plan.promoted),
+            migrated_bytes=plan.migrated_bytes,
+            migration_s=plan.migration_pause_s,
+        )
+        return {
+            "pause_s": pause,
+            "promoted": float(plan.promoted),
+            "migrated_bytes": plan.migrated_bytes,
+        }
+
+    def _pause_for_suspect(self, pause: float) -> None:
+        """Suspend processing for a detector-driven eviction.  Billed
+        apart from both fault recovery and rescales so spurious verdict
+        cost is visible on its own line."""
+        if pause <= 0:
+            return
+        self._suspect_pause_total += pause
+        self._paused_until = max(self._paused_until, self.sim.now + pause)
+        self._ramp_from_s = max(self._ramp_from_s, self._paused_until)
 
     def _restore_workers(self, nodes: int) -> None:
         if self.failed:
@@ -1176,6 +1330,8 @@ class StreamingEngine(ABC):
             "cluster_workers": float(self.cluster.workers),
             "rescale_events": float(len(self.rescale_log)),
             "rescale_pause_total_s": self._rescale_pause_total,
+            "suspect_migrations": float(self._suspect_migrations),
+            "suspect_pause_total_s": self._suspect_pause_total,
         }
         for key, value in self._backpressure().metrics().items():
             diag[f"bp.{key}"] = value

@@ -17,10 +17,13 @@ from repro.faults.checkpoint import CheckpointSpec, RecoverySemantics
 from repro.faults.guarantees import DeliveryGuarantee, GuaranteeAccounting
 from repro.faults.metrics import RecoveryMetrics, compute_recovery_metrics
 from repro.faults.schedule import (
+    AsymmetricPartition,
+    DegradingNode,
     DriverNodeSlow,
     DriverQueueLoss,
     FaultEvent,
     FaultSchedule,
+    FlappingNode,
     GeneratorCrash,
     NetworkPartition,
     NodeCrash,
@@ -30,12 +33,15 @@ from repro.faults.schedule import (
 )
 
 __all__ = [
+    "AsymmetricPartition",
     "CheckpointSpec",
+    "DegradingNode",
     "DeliveryGuarantee",
     "DriverNodeSlow",
     "DriverQueueLoss",
     "FaultEvent",
     "FaultSchedule",
+    "FlappingNode",
     "GeneratorCrash",
     "GuaranteeAccounting",
     "NetworkPartition",

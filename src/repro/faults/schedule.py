@@ -28,15 +28,36 @@ Event types (all driver-side injections; the engine models react):
   for ``duration_s``; the engine's watermark stalls on that queue, so
   windows halt until it reconnects and the source catches up.
 
+Gray-failure events (Huang et al., "Gray Failure: The Achilles' Heel
+of Cloud-Scale Systems", HotOS 2017) target one *named* worker
+(``node``) and are the workloads the detection plane
+(:mod:`repro.detect`) is benchmarked against:
+
+- :class:`FlappingNode` -- a worker oscillates between up and down on
+  seeded duty cycles: too short-lived for a fixed timeout, pure noise
+  for naive inter-arrival statistics.
+- :class:`DegradingNode` -- fail-slow: the worker's capacity (and its
+  heartbeat cadence) ramps down over the fault window instead of
+  stopping, so there is no discrete "down" edge to detect.
+- :class:`AsymmetricPartition` -- one-way link loss: heartbeats and
+  data diverge.  In the default ``heartbeat`` direction the node keeps
+  processing but some observers stop hearing from it (false-positive
+  bait that can split a quorum); in the ``data`` direction ingest is
+  cut while heartbeats keep flowing (a detector-blind outage).
+
 Every event carries ``at_s``, the injection time.  Events may repeat
 and overlap; :meth:`FaultSchedule.validate_against` rejects events
-scheduled at or after the trial end (they would silently never fire).
+scheduled at or after the trial end (they would silently never fire)
+and ambiguous same-node overlaps between capacity-modulating faults
+(see its docstring for the exact composition contract).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Tuple
+from typing import TYPE_CHECKING, List, Tuple
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim.nodefail)
     from repro.sim.nodefail import NodeFailureSpec
@@ -235,6 +256,163 @@ class DriverNodeSlow(_TransientFaultEvent):
 
 
 @dataclass(frozen=True)
+class _GrayFaultEvent(_TransientFaultEvent):
+    """A gray failure pinned to one named worker ``node``.
+
+    Unlike :class:`SlowNode` (which degrades the ``nodes`` *lowest*
+    worker indices anonymously and is invisible to the control plane),
+    a gray fault carries worker identity so the detection plane can
+    attribute heartbeat evidence, verdicts, and false positives to a
+    specific node.
+    """
+
+    node: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node < 0:
+            raise ValueError(f"node must be >= 0, got {self.node}")
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}@{self.at_s:g}s for {self.duration_s:g}s"
+            f" on node {self.node}"
+        )
+
+
+@dataclass(frozen=True)
+class FlappingNode(_GrayFaultEvent):
+    """Worker ``node`` oscillates between up and down on seeded duty
+    cycles for ``duration_s``.
+
+    Each cycle is ``period_s`` long on average (jittered by the event's
+    own ``seed``); the node is up for the first part of the cycle and
+    down for roughly ``duty`` of it.  Down segments suppress both the
+    node's processing capacity and its heartbeats, so a fixed-timeout
+    detector only fires when an individual down segment outlasts the
+    timeout, while an adaptive detector can convict on the unstable
+    inter-arrival history.
+    """
+
+    period_s: float = 6.0
+    duty: float = 0.5
+    seed: int = 0
+    kind = "flap"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {self.period_s}")
+        if not 0.0 < self.duty < 1.0:
+            raise ValueError(f"duty must be in (0, 1), got {self.duty}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+
+    def down_segments(self) -> Tuple[Tuple[float, float], ...]:
+        """Absolute ``(start, end)`` down intervals, a pure function of
+        the event's own fields (so the engine and the detection plane
+        derive the identical ground truth independently)."""
+        rng = np.random.default_rng(np.random.SeedSequence([0x11AB, self.seed]))
+        segments: List[Tuple[float, float]] = []
+        t = self.at_s
+        end = self.end_s
+        while t < end:
+            cycle = self.period_s * float(rng.uniform(0.75, 1.25))
+            down = min(cycle * self.duty * float(rng.uniform(0.7, 1.3)), cycle)
+            seg_start = min(t + (cycle - down), end)
+            seg_end = min(t + cycle, end)
+            if seg_end > seg_start:
+                segments.append((seg_start, seg_end))
+            t += cycle
+        return tuple(segments)
+
+
+@dataclass(frozen=True)
+class DegradingNode(_GrayFaultEvent):
+    """Fail-slow: worker ``node`` ramps from full speed down to
+    ``floor_factor`` of its capacity over ``duration_s``.
+
+    The ramp is discretized into ``steps`` piecewise-constant segments
+    (step ``i`` runs at ``1 - (1 - floor_factor) * (i + 1) / steps``),
+    so the first step is already degraded and the last step sits at the
+    floor.  The node's heartbeat cadence stretches by the same factor:
+    a fail-slow node is late, never silent, which is exactly what a
+    fixed timeout is worst at.
+    """
+
+    floor_factor: float = 0.25
+    steps: int = 8
+    kind = "degrade"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.floor_factor < 1.0:
+            raise ValueError(
+                f"floor_factor must be in (0, 1), got {self.floor_factor}"
+            )
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
+
+    def segments(self) -> Tuple[Tuple[float, float, float], ...]:
+        """Absolute ``(start, end, factor)`` ramp segments."""
+        step_s = self.duration_s / self.steps
+        out: List[Tuple[float, float, float]] = []
+        for i in range(self.steps):
+            factor = 1.0 - (1.0 - self.floor_factor) * (i + 1) / self.steps
+            out.append((self.at_s + i * step_s, self.at_s + (i + 1) * step_s, factor))
+        return tuple(out)
+
+    def factor_at(self, now_s: float) -> float:
+        """Capacity factor in effect at ``now_s`` (1.0 outside the window)."""
+        for start, end, factor in self.segments():
+            if start <= now_s < end:
+                return factor
+        return 1.0
+
+
+@dataclass(frozen=True)
+class AsymmetricPartition(_GrayFaultEvent):
+    """One-way link loss on worker ``node`` for ``duration_s``.
+
+    ``direction="heartbeat"`` (default): the node's heartbeats stop
+    reaching the first ``observers_affected`` control-plane observers
+    while the data path is untouched -- the node is healthy, so every
+    suspicion it draws is a false positive, and a quorum detector
+    splits only when ``observers_affected`` reaches its ``k``.
+
+    ``direction="data"``: the node's ingest link is cut (modelled as a
+    full ingest stall, like :class:`NetworkPartition`) while heartbeats
+    keep flowing -- a real outage every heartbeat detector is blind to.
+    """
+
+    observers_affected: int = 1
+    direction: str = "heartbeat"
+    kind = "asympart"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.observers_affected < 1:
+            raise ValueError(
+                f"observers_affected must be >= 1, got {self.observers_affected}"
+            )
+        if self.direction not in ("heartbeat", "data"):
+            raise ValueError(
+                f"direction must be 'heartbeat' or 'data', got {self.direction!r}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}@{self.at_s:g}s for {self.duration_s:g}s"
+            f" on node {self.node} ({self.direction})"
+        )
+
+
+#: Gray faults that modulate the capacity of their named node (and so
+#: must not overlap another capacity fault on the same node).
+_GRAY_CAPACITY_KINDS = ("flap", "degrade")
+
+
+@dataclass(frozen=True)
 class FaultSchedule:
     """An immutable timeline of fault events for one trial.
 
@@ -264,11 +442,30 @@ class FaultSchedule:
         return tuple(sorted(self.events, key=lambda e: e.at_s))
 
     def validate_against(self, duration_s: float) -> None:
-        """Reject events that could never fire within the trial.
+        """Reject events that could never fire within the trial, and
+        ambiguous overlaps between capacity faults on the same node.
 
         Historically a ``fail_at_s`` past the trial end was silently
         ignored -- the trial ran as a healthy baseline while claiming to
         be a failure experiment.  That is now an error.
+
+        Overlap contract (pinned by ``tests/faults/test_schedule.py``):
+
+        - **Legacy transients compose deterministically.**  Overlapping
+          :class:`SlowNode` windows stack *multiplicatively*, with each
+          event's riding multiplier frozen at its injection time; a
+          crash or restart landing inside a slow window keeps the
+          already-frozen multiplier until the slow window expires.
+          These compositions are well-defined (and the chaos soak draws
+          them), so they are allowed, not rejected.
+        - **Gray capacity faults do not compose.**  A
+          :class:`FlappingNode` or :class:`DegradingNode` owns its
+          node's capacity *and* heartbeat timeline for its window;
+          overlapping it with another gray capacity fault on the same
+          node -- or with a :class:`SlowNode` whose anonymous target
+          range ``[0, nodes)`` contains that node -- would make the
+          detection plane's ground truth ambiguous.  Such schedules are
+          rejected here instead of silently stacking.
         """
         late = [e for e in self.events if e.at_s >= duration_s]
         if late:
@@ -277,6 +474,31 @@ class FaultSchedule:
                 f"fault events scheduled at/after the trial end "
                 f"({duration_s:g}s) would never fire: {listing}"
             )
+        gray = [
+            e
+            for e in self.ordered()
+            if isinstance(e, _GrayFaultEvent) and e.kind in _GRAY_CAPACITY_KINDS
+        ]
+        for i, a in enumerate(gray):
+            for b in gray[i + 1 :]:
+                if a.node == b.node and a.at_s < b.end_s and b.at_s < a.end_s:
+                    raise ValueError(
+                        f"gray capacity faults overlap on node {a.node}: "
+                        f"{a.describe()} vs {b.describe()}; their heartbeat "
+                        f"and capacity effects do not compose -- separate "
+                        f"them in time or target different nodes"
+                    )
+        slows = [e for e in self.ordered() if isinstance(e, SlowNode)]
+        for g in gray:
+            for s in slows:
+                if g.node < s.nodes and g.at_s < s.end_s and s.at_s < g.end_s:
+                    raise ValueError(
+                        f"{g.describe()} overlaps {s.describe()} whose "
+                        f"target range [0, {s.nodes}) contains node "
+                        f"{g.node}; a gray fault owns its node's capacity "
+                        f"for its window -- move the slow window or "
+                        f"retarget the gray fault"
+                    )
 
     def describe(self) -> str:
         if not self.events:

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -42,19 +42,25 @@ import numpy as np
 from repro.core.driver import TrialResult
 from repro.core.experiment import ExperimentSpec, run_experiment
 from repro.core.generator import GeneratorConfig
+from repro.detect.plane import DETECTOR_KINDS, detector_spec
 import repro.engines.ext  # noqa: F401  (registers heron/samza in ENGINES)
 from repro.engines import engine_class
 from repro.faults.schedule import (
+    AsymmetricPartition,
+    DegradingNode,
     DriverNodeSlow,
     DriverQueueLoss,
     FaultEvent,
     FaultSchedule,
+    FlappingNode,
     GeneratorCrash,
     NetworkPartition,
     NodeCrash,
     ProcessRestart,
     QueueDisconnect,
     SlowNode,
+    _GRAY_CAPACITY_KINDS,
+    _GrayFaultEvent,
 )
 from repro.metrology.journal import TrialJournal
 from repro.recovery.reschedule import MODE_STANDBY, ReschedulePolicy
@@ -110,6 +116,15 @@ class ChaosConfig:
     """Mix driver-side faults (generator crash, queue loss, slow driver
     node) into the random schedules alongside the SUT faults -- the
     measurement plane is a fault domain too (see :mod:`repro.metrology`)."""
+    detector: Optional[str] = None
+    """Failure-detector kind driving suspect migrations on every trial
+    (``timeout`` / ``phi`` / ``quorum``); ``None`` keeps the pre-existing
+    fixed-timeout recovery semantics bit for bit."""
+    gray_faults: bool = False
+    """Mix gray failures (flapping node, fail-slow ramp, asymmetric
+    partition) into the random schedules.  Off by default so the legacy
+    draw sequence -- and therefore the journalled trial identity of
+    existing soaks -- is untouched."""
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -120,6 +135,11 @@ class ChaosConfig:
             raise ValueError("need at least one policy")
         if self.max_faults_per_round < 1:
             raise ValueError("max_faults_per_round must be >= 1")
+        if self.detector is not None and self.detector not in DETECTOR_KINDS:
+            raise ValueError(
+                f"unknown detector {self.detector!r}; "
+                f"expected one of {DETECTOR_KINDS}"
+            )
 
 
 def random_fault_schedule(
@@ -132,6 +152,14 @@ def random_fault_schedule(
     transient faults real clusters see most.  A crash may kill the last
     worker -- that is a *policy outcome* the scorecard records, not a
     harness error.
+
+    With ``config.gray_faults`` the mix also draws the gray family
+    (flapping node, fail-slow ramp, asymmetric partition); the legacy
+    kinds keep their relative weights, scaled to make room.  Gray node
+    targets are assigned in a deterministic post-pass
+    (:func:`_place_gray_faults`) so the drawn schedule always passes
+    :meth:`~repro.faults.schedule.FaultSchedule.validate_against`'s
+    same-node overlap rejections.
     """
     count = int(rng.integers(1, config.max_faults_per_round + 1))
     times = np.sort(
@@ -146,6 +174,9 @@ def random_fault_schedule(
     else:
         kinds = ["crash", "restart", "slow", "partition", "disconnect"]
         weights = [0.2, 0.2, 0.25, 0.15, 0.2]
+    if config.gray_faults:
+        kinds = kinds + ["flap", "degrade", "asympart"]
+        weights = [w * 0.8 for w in weights] + [0.08, 0.08, 0.04]
     events: List[FaultEvent] = []
     for at_s in times:
         at_s = float(round(at_s, 3))
@@ -195,6 +226,32 @@ def random_fault_schedule(
                     duration_s=float(round(rng.uniform(2.0, 6.0), 3)),
                 )
             )
+        elif kind == "flap":
+            events.append(
+                FlappingNode(
+                    at_s=at_s,
+                    duration_s=float(round(rng.uniform(8.0, 14.0), 3)),
+                    period_s=float(round(rng.uniform(4.0, 8.0), 3)),
+                    duty=float(round(rng.uniform(0.3, 0.6), 3)),
+                    seed=int(rng.integers(0, 2**16)),
+                )
+            )
+        elif kind == "degrade":
+            events.append(
+                DegradingNode(
+                    at_s=at_s,
+                    duration_s=float(round(rng.uniform(8.0, 14.0), 3)),
+                    floor_factor=float(round(rng.uniform(0.2, 0.5), 3)),
+                )
+            )
+        elif kind == "asympart":
+            events.append(
+                AsymmetricPartition(
+                    at_s=at_s,
+                    duration_s=float(round(rng.uniform(4.0, 10.0), 3)),
+                    direction=str(rng.choice(("heartbeat", "data"))),
+                )
+            )
         else:
             events.append(
                 QueueDisconnect(
@@ -205,7 +262,57 @@ def random_fault_schedule(
                     duration_s=float(round(rng.uniform(2.0, 6.0), 3)),
                 )
             )
+    if config.gray_faults:
+        events = _place_gray_faults(events, config.workers)
     return FaultSchedule(tuple(events))
+
+
+def _place_gray_faults(
+    events: List[FaultEvent], workers: int
+) -> List[FaultEvent]:
+    """Deterministically retarget the gray faults of one draw so the
+    schedule always passes ``validate_against``'s overlap rejections.
+
+    Gray capacity faults (flap / degrade) claim the lowest node index
+    that is (a) outside the anonymous target range ``[0, nodes)`` of
+    every time-overlapping :class:`SlowNode` and (b) not claimed by a
+    time-overlapping gray capacity fault already placed; when no node
+    is free the event is dropped -- a deterministically shorter
+    schedule instead of an invalid one.  Asymmetric partitions carry no
+    overlap constraint and pin the highest worker index.
+    """
+    slows = [e for e in events if isinstance(e, SlowNode)]
+    placed: List[_GrayFaultEvent] = []
+    out: List[FaultEvent] = []
+    for event in events:
+        if not isinstance(event, _GrayFaultEvent):
+            out.append(event)
+            continue
+        if event.kind not in _GRAY_CAPACITY_KINDS:
+            out.append(replace(event, node=max(0, workers - 1)))
+            continue
+        chosen: Optional[int] = None
+        for node in range(workers):
+            blocked = any(
+                node < s.nodes
+                and event.at_s < s.end_s
+                and s.at_s < event.end_s
+                for s in slows
+            ) or any(
+                g.node == node
+                and event.at_s < g.end_s
+                and g.at_s < event.end_s
+                for g in placed
+            )
+            if not blocked:
+                chosen = node
+                break
+        if chosen is None:
+            continue
+        event = replace(event, node=chosen)
+        placed.append(event)
+        out.append(event)
+    return out
 
 
 # -- invariants -------------------------------------------------------------
@@ -292,6 +399,21 @@ def check_invariants(
             )
     elif result.failure_time != result.failure_time:
         violations.append(f"{label}: failed trial lost its failure_time")
+    detection = getattr(result, "detection", None)
+    if detection is not None:
+        if detection.calm and detection.false_positives > 0:
+            violations.append(
+                f"{label}: {detection.false_positives} false positive(s) "
+                f"under a calm schedule -- the {detection.detector} "
+                f"detector convicted a healthy node with no fault injected"
+            )
+        if detection.cascade_depth_max > config.workers:
+            violations.append(
+                f"{label}: migration cascade depth "
+                f"{detection.cascade_depth_max} exceeds the cluster size "
+                f"({config.workers}) -- suspect migrations are chaining "
+                f"past the structural bound"
+            )
     return violations
 
 
@@ -339,8 +461,10 @@ def trial_digest(result: TrialResult, violations: List[str]) -> Dict[str, object
                 "duplicated_weight": float(entry.duplicated_weight),
             }
         )
+    detection = getattr(result, "detection", None)
     return {
         "failed": bool(result.failed),
+        "detection": None if detection is None else detection.to_dict(),
         "end_queue_delay_s": (
             0.0 if result.failed else float(result.throughput.queue_delay_at_end())
         ),
@@ -384,6 +508,10 @@ class Scorecard:
     duplicated_weight: float = 0.0
     driver_lost_weight: float = 0.0
     end_queue_delay_s_max: float = 0.0
+    false_positives: int = 0
+    spurious_migration_node_s: float = 0.0
+    cascade_depth_max: int = 0
+    metastable: int = 0
     violations: List[str] = field(default_factory=list)
 
     def absorb(self, result: TrialResult, violations: List[str]) -> None:
@@ -409,6 +537,16 @@ class Scorecard:
         self.lost_weight += float(digest["lost_weight"])
         self.duplicated_weight += float(digest["duplicated_weight"])
         self.driver_lost_weight += float(digest.get("driver_lost_weight", 0.0))
+        detection = digest.get("detection")
+        if detection is not None:
+            self.false_positives += int(detection["false_positives"])
+            self.spurious_migration_node_s += float(
+                detection["spurious_migration_node_s"] or 0.0
+            )
+            self.cascade_depth_max = max(
+                self.cascade_depth_max, int(detection["cascade_depth_max"])
+            )
+            self.metastable += int(bool(detection["metastable"]))
         for entry in digest["recovery"]:
             detection = _nan(entry["detection_s"])
             if detection == detection:
@@ -479,6 +617,12 @@ class Scorecard:
             "duplicated_weight": _round6(self.duplicated_weight),
             "driver_lost_weight": _round6(self.driver_lost_weight),
             "end_queue_delay_s_max": _round6(self.end_queue_delay_s_max),
+            "false_positives": self.false_positives,
+            "spurious_migration_node_s": _round6(
+                self.spurious_migration_node_s
+            ),
+            "cascade_depth_max": self.cascade_depth_max,
+            "metastable": self.metastable,
             "violations": sorted(self.violations),
         }
 
@@ -581,6 +725,7 @@ def _trial_spec(
         standby=policy.standby,
         reschedule=policy.reschedule_policy(),
         degradation=degradation,
+        detector=detector_spec(config.detector),
     )
 
 
@@ -589,12 +734,17 @@ def chaos_fingerprint(config: ChaosConfig) -> str:
     trials only from a journal written by the *same* soak.  Scheduler
     parallelism is deliberately absent -- a parallel run and a serial
     run of the same config are the same experiment (byte-identical
-    scorecards), so their journals are interchangeable.  The ``v2``
-    tag versions the *digest schema*: PR 9 added the recovery phase
-    decomposition and per-fault guarantee weights to ``trial_digest``,
-    so journals written before that carry digests the scorecard would
-    aggregate differently -- they must mismatch, not silently resume."""
-    return f"chaos|v2|{config!r}"
+    scorecards), so their journals are interchangeable.  The version
+    tag versions the *digest schema*: ``v2`` (PR 9) added the recovery
+    phase decomposition and per-fault guarantee weights to
+    ``trial_digest``; ``v3`` adds the ``detection`` section (and the
+    scorecard columns folded from it), so journals written before that
+    carry digests the scorecard would aggregate differently -- they
+    must mismatch loudly, not silently resume.  The detector kind and
+    the gray-fault flag need no extra terms here: both live on
+    :class:`ChaosConfig`, so ``config!r`` already separates their
+    journals."""
+    return f"chaos|v3|{config!r}"
 
 
 def round_seed(seed: int, round_index: int) -> int:

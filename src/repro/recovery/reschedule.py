@@ -261,7 +261,11 @@ class ReschedulePolicy:
         )
         if not self.migrate_stragglers or self.mode != MODE_STANDBY:
             return no_migration
-        if duration_s <= self.detection_timeout_s:
+        # Strictly shorter than the timeout clears before detection; a
+        # fault lasting *exactly* detection_timeout_s is detected at the
+        # instant it ends and still triggers the migration (the old
+        # ``<=`` silently dropped that boundary case).
+        if duration_s < self.detection_timeout_s:
             return no_migration
         promoted = min(nodes, max(0, standbys_left))
         if promoted <= 0 or active <= 0:
@@ -271,6 +275,59 @@ class ReschedulePolicy:
         return ReschedulePlan(
             promoted=promoted,
             survivors=active,
+            migrated_bytes=migrated,
+            migration_pause_s=pause,
+            fatal=False,
+        )
+
+    def plan_suspect(
+        self,
+        *,
+        active: int,
+        standbys_left: int,
+        state_bytes: float,
+        node: NodeSpec,
+    ) -> ReschedulePlan:
+        """Plan the eviction of one *suspected* (but possibly healthy)
+        worker, on a failure detector's verdict (:mod:`repro.detect`).
+
+        This is the seam that makes detector quality cost real time: the
+        scheduler cannot tell a true conviction from a false positive,
+        so either way the suspect's partitions are moved -- onto a
+        promoted standby when one is available, else spread over the
+        survivors (shrinking capacity by one worker).  The migration
+        pause is the same NIC-bounded transfer used by crashes and
+        rescales; a *spurious* verdict therefore bills the full pause
+        for nothing.  Returns a no-op plan (``promoted == 0`` and
+        ``survivors == active``) when the policy has nowhere to put the
+        suspect's slots: under ``mode="none"``, or in spread mode with
+        no survivor left to absorb them.
+        """
+        if active <= 0:
+            raise ValueError(f"active must be > 0, got {active}")
+        refuse = ReschedulePlan(
+            promoted=0,
+            survivors=active,
+            migrated_bytes=0.0,
+            migration_pause_s=0.0,
+            fatal=False,
+        )
+        if self.mode == MODE_NONE:
+            return refuse
+        promoted = 0
+        if self.mode == MODE_STANDBY:
+            promoted = min(1, max(0, standbys_left))
+        survivors = active - 1
+        receivers = survivors + promoted
+        if receivers <= 0:
+            # Evicting the last worker with no spare would kill the job
+            # on a suspicion; the policy declines instead.
+            return refuse
+        migrated = max(0.0, state_bytes) * (1.0 / active)
+        pause = self.migration_pause_s(migrated, node, receivers)
+        return ReschedulePlan(
+            promoted=promoted,
+            survivors=survivors,
             migrated_bytes=migrated,
             migration_pause_s=pause,
             fatal=False,

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.experiment import ExperimentSpec, run_experiment
 from repro.core.generator import GeneratorConfig
+from repro.detect.plane import DETECTOR_KINDS, detector_spec
 import repro.engines.ext  # noqa: F401  (registers heron/samza in ENGINES)
 from repro.engines import engine_class
 from repro.engines.base import EngineConfig
@@ -96,6 +97,10 @@ class RecoverConfig:
     clean baseline window, early enough to observe the full recovery."""
     latency_bound_s: float = 20.0
     """End-of-trial queue backlog age tolerated on surviving cells."""
+    detector: Optional[str] = None
+    """Failure-detector kind (``timeout`` / ``phi`` / ``quorum``) driving
+    suspect migrations on every cell; ``None`` keeps the pre-existing
+    fixed-timeout recovery semantics bit for bit."""
 
     def __post_init__(self) -> None:
         if not self.engines:
@@ -126,6 +131,11 @@ class RecoverConfig:
         if not 0.0 < self.fault_fraction < 1.0:
             raise ValueError(
                 f"fault_fraction must be in (0, 1), got {self.fault_fraction}"
+            )
+        if self.detector is not None and self.detector not in DETECTOR_KINDS:
+            raise ValueError(
+                f"unknown detector {self.detector!r}; "
+                f"expected one of {DETECTOR_KINDS}"
             )
 
     @property
@@ -173,6 +183,7 @@ def _grid_spec(
         faults=FaultSchedule((fault_event(kind, config.fault_at_s),)),
         standby=standby,
         reschedule=config.reschedule_policy(policy),
+        detector=detector_spec(config.detector),
     )
 
 
@@ -196,6 +207,7 @@ def _frontier_spec(
             (fault_event(FRONTIER_KIND, config.fault_at_s),)
         ),
         checkpoint=CheckpointSpec(interval_s=interval_s),
+        detector=detector_spec(config.detector),
     )
 
 
@@ -312,6 +324,7 @@ class RecoveryReport:
             "fault_at_s": self.config.fault_at_s,
             "policies": list(self.config.policies),
             "kinds": list(self.config.kinds),
+            "detector": self.config.detector,
             "intervals": list(self.config.intervals),
             "cells": {
                 "/".join(key): cell.to_dict()
@@ -391,8 +404,13 @@ def recover_fingerprint(config: RecoverConfig) -> str:
     """Journal identity: a resumed benchmark must replay trials only
     from a journal written by the *same* benchmark.  Scheduler
     parallelism is deliberately absent -- serial and parallel runs of
-    one config are the same experiment (byte-identical reports)."""
-    return f"recover|{config!r}"
+    one config are the same experiment (byte-identical reports).  The
+    ``v2`` tag versions the digest schema: the detection plane landed
+    alongside it, and :class:`RecoverConfig` grew the ``detector``
+    field -- a pre-detector journal's untagged fingerprint can never
+    equal a ``v2`` one, so stale journals mismatch loudly instead of
+    resuming against a different repr."""
+    return f"recover|v2|{config!r}"
 
 
 def run_recovery_bench(

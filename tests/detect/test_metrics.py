@@ -1,0 +1,102 @@
+"""Detection metrology: metrics record and the metastability band."""
+
+import json
+import math
+
+from repro.detect.metrics import (
+    DetectionMetrics,
+    VerdictEvent,
+    latency_band_reentered,
+)
+
+
+class TestDetectionMetrics:
+    def test_latency_stats_empty(self):
+        m = DetectionMetrics(
+            detector="timeout", heartbeat_interval_s=0.5, calm=True
+        )
+        assert math.isnan(m.detection_latency_mean_s)
+        assert math.isnan(m.detection_latency_max_s)
+
+    def test_latency_stats(self):
+        m = DetectionMetrics(
+            detector="phi",
+            heartbeat_interval_s=0.5,
+            calm=False,
+            detection_latencies_s=(1.0, 3.0),
+        )
+        assert m.detection_latency_mean_s == 2.0
+        assert m.detection_latency_max_s == 3.0
+
+    def test_to_dict_is_json_clean(self):
+        m = DetectionMetrics(
+            detector="quorum",
+            heartbeat_interval_s=0.5,
+            calm=False,
+            episodes=1,
+            true_positives=1,
+            detection_latencies_s=(2.5,),
+            verdicts=(VerdictEvent(12.5, 1, True, True),),
+        )
+        payload = m.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["detection_latency_mean_s"] == 2.5
+        assert payload["verdicts"] == [[12.5, 1, True, True]]
+
+    def test_to_dict_nan_becomes_none(self):
+        m = DetectionMetrics(
+            detector="timeout", heartbeat_interval_s=0.5, calm=True
+        )
+        payload = m.to_dict()
+        assert payload["detection_latency_mean_s"] is None
+        assert payload["detection_latency_max_s"] is None
+
+
+class TestLatencyBandReentered:
+    def test_no_baseline_is_unjudgeable(self):
+        assert (
+            latency_band_reentered(
+                [50.0], [1.0], baseline_end_s=10.0, clear_s=40.0
+            )
+            is None
+        )
+
+    def test_no_post_clear_data_is_unjudgeable(self):
+        assert (
+            latency_band_reentered(
+                [5.0, 8.0], [1.0, 1.0], baseline_end_s=10.0, clear_s=40.0
+            )
+            is None
+        )
+
+    def test_settled_latency_reenters(self):
+        times = [5.0, 8.0, 41.0, 42.0, 43.0]
+        lat = [1.0, 1.0, 1.1, 1.0, 1.0]
+        assert (
+            latency_band_reentered(
+                times, lat, baseline_end_s=10.0, clear_s=40.0
+            )
+            is True
+        )
+
+    def test_diverged_latency_does_not(self):
+        times = [5.0, 8.0, 41.0, 42.0, 43.0, 44.0]
+        lat = [1.0, 1.0, 8.0, 9.0, 10.0, 11.0]
+        assert (
+            latency_band_reentered(
+                times, lat, baseline_end_s=10.0, clear_s=40.0
+            )
+            is False
+        )
+
+    def test_single_good_bin_is_not_settled(self):
+        # Re-entry must be *sustained* (settle_bins consecutive bins);
+        # one lucky bin inside the band does not count.
+        times = [5.0, 8.0, 41.0, 42.0, 43.0]
+        lat = [1.0, 1.0, 1.0, 9.0, 10.0]
+        assert (
+            latency_band_reentered(
+                times, lat, baseline_end_s=10.0, clear_s=40.0
+            )
+            is False
+        )

@@ -446,9 +446,10 @@ class TestRecoveryDecompositionColumns:
         assert payload["fault_lost_weight"] == 0.0
 
     def test_fingerprint_carries_the_digest_schema_version(self):
-        # Resuming a pre-PR-9 journal must mismatch loudly, not blend
-        # old digests (without phase columns) into new scorecards.
-        assert chaos_fingerprint(SMALL).startswith("chaos|v2|")
+        # Resuming a pre-PR-9 (v2: phase columns) or pre-detection (v3:
+        # detection section) journal must mismatch loudly, not blend
+        # old digests into new scorecards.
+        assert chaos_fingerprint(SMALL).startswith("chaos|v3|")
 
     def test_render_shows_the_decomposition(self):
         card = Scorecard(engine="flink", policy="baseline")
@@ -464,3 +465,107 @@ class TestRecoveryDecompositionColumns:
         assert "det(s)" in text
         assert "rst(s)" in text
         assert "cat(s)" in text
+
+
+class TestGrayDraws:
+    CONFIG = ChaosConfig(seed=0, rounds=1, gray_faults=True, max_faults_per_round=5)
+
+    def test_gray_kinds_mixed_into_the_draw(self):
+        kinds = set()
+        for seed in range(80):
+            schedule = random_fault_schedule(
+                np.random.default_rng(seed), self.CONFIG
+            )
+            kinds.update(event.kind for event in schedule.events)
+        assert {"flap", "degrade", "asympart"} <= kinds
+
+    def test_gray_draws_always_validate(self):
+        # The deterministic node-placement pass must keep every drawn
+        # schedule clear of the same-node overlap rejections.
+        for seed in range(120):
+            schedule = random_fault_schedule(
+                np.random.default_rng(seed), self.CONFIG
+            )
+            schedule.validate_against(self.CONFIG.duration_s)
+
+    def test_gray_off_by_default(self):
+        config = ChaosConfig(seed=0, rounds=1, max_faults_per_round=5)
+        for seed in range(40):
+            schedule = random_fault_schedule(
+                np.random.default_rng(seed), config
+            )
+            assert not any(
+                e.kind in ("flap", "degrade", "asympart")
+                for e in schedule.events
+            )
+
+    def test_detector_config_validated(self):
+        with pytest.raises(ValueError, match="unknown detector"):
+            ChaosConfig(detector="bogus")
+
+
+class TestDetectorSoak:
+    def test_timeout_detector_is_byte_identical_to_no_detector(self):
+        # The acceptance bar for the default detector: on the legacy
+        # fault mix, `--detector timeout` replicates the fixed-timeout
+        # recovery semantics so faithfully that the entire scorecard
+        # JSON -- every float -- matches a run without the plane.
+        import dataclasses
+
+        plain = run_chaos(SMALL)
+        timed = run_chaos(dataclasses.replace(SMALL, detector="timeout"))
+        assert timed.to_json() == plain.to_json()
+
+    def test_detection_columns_default_to_zero(self):
+        report = run_chaos(SMALL)
+        for card in report.to_dict()["scorecards"].values():
+            assert card["false_positives"] == 0
+            assert card["spurious_migration_node_s"] == 0.0
+            assert card["cascade_depth_max"] == 0
+            assert card["metastable"] == 0
+
+    def test_soak_invariants_hold_for_every_engine_and_detector(self):
+        # The ISSUE acceptance grid: all five engines under all three
+        # detectors with gray faults in the mix -- the calm-no-FP and
+        # cascade-bound invariants hold on every trial (report.ok).
+        for detector in ("timeout", "phi", "quorum"):
+            config = ChaosConfig(
+                seed=2,
+                rounds=1,
+                duration_s=30.0,
+                rate=10_000.0,
+                detector=detector,
+                gray_faults=True,
+            )
+            report = run_chaos(config)
+            assert report.ok, (detector, report.violations)
+
+
+class TestChaosFingerprint:
+    def test_v3_tag_and_config_separation(self):
+        import dataclasses
+
+        fingerprint = chaos_fingerprint(SMALL)
+        assert fingerprint.startswith("chaos|v3|")
+        assert fingerprint != chaos_fingerprint(
+            dataclasses.replace(SMALL, detector="phi")
+        )
+        assert fingerprint != chaos_fingerprint(
+            dataclasses.replace(SMALL, gray_faults=True)
+        )
+
+    def test_stale_journal_mismatches_loudly(self, tmp_path):
+        # A journal written under the v2 digest schema must refuse to
+        # resume under v3 -- with both fingerprints in the error, not a
+        # silent partial replay.
+        path = tmp_path / "stale.json"
+        stale = chaos_fingerprint(SMALL).replace("chaos|v3|", "chaos|v2|", 1)
+        TrialJournal(path, fingerprint=stale).record(
+            "flink/baseline/round0", {"failed": False}
+        )
+        with pytest.raises(ValueError) as err:
+            TrialJournal(
+                path, fingerprint=chaos_fingerprint(SMALL), resume=True
+            )
+        assert "chaos|v2|" in str(err.value)
+        assert "chaos|v3|" in str(err.value)

@@ -132,14 +132,25 @@ class TestPlanStraggler:
         return base
 
     def test_short_blip_never_migrates(self):
-        # Below the failure detector's timeout, nobody notices the
-        # straggler -- migrating state for a blip would cost more than
-        # riding it out.
+        # Strictly below the failure detector's timeout, nobody notices
+        # the straggler -- migrating state for a blip would cost more
+        # than riding it out.
         plan = self.POLICY.plan_straggler(
-            **self.kwargs(duration_s=self.POLICY.detection_timeout_s)
+            **self.kwargs(duration_s=self.POLICY.detection_timeout_s - 1e-9)
         )
         assert plan.promoted == 0
         assert plan.migrated_bytes == 0.0
+
+    def test_boundary_fault_is_detected(self):
+        # Regression: a fault lasting *exactly* detection_timeout_s was
+        # waved through (`<=`), contradicting the detector layer's
+        # inclusive conviction at elapsed == timeout.  The boundary is
+        # detection, so the straggler is replaced.
+        plan = self.POLICY.plan_straggler(
+            **self.kwargs(duration_s=self.POLICY.detection_timeout_s)
+        )
+        assert plan.promoted == 1
+        assert plan.migrated_bytes > 0.0
 
     def test_detected_straggler_is_replaced(self):
         plan = self.POLICY.plan_straggler(**self.kwargs())
@@ -161,6 +172,49 @@ class TestPlanStraggler:
         for mode in (MODE_NONE, MODE_SPREAD):
             policy = ReschedulePolicy(standby_nodes=1, mode=mode)
             assert policy.plan_straggler(**self.kwargs()).promoted == 0
+
+
+class TestPlanSuspect:
+    def kwargs(self, **overrides):
+        base = dict(active=2, standbys_left=1, state_bytes=8e8, node=NODE)
+        base.update(overrides)
+        return base
+
+    def test_standby_promotion_keeps_headcount(self):
+        plan = ReschedulePolicy(
+            standby_nodes=1, mode=MODE_STANDBY
+        ).plan_suspect(**self.kwargs())
+        assert plan.promoted == 1
+        assert plan.survivors == 1
+        # One worker's share of state moves, and the pause is real --
+        # this is what a false positive costs.
+        assert plan.migrated_bytes == pytest.approx(4e8)
+        assert plan.migration_pause_s > 0
+
+    def test_spread_shrinks_capacity(self):
+        plan = ReschedulePolicy(mode=MODE_SPREAD).plan_suspect(
+            **self.kwargs(active=3)
+        )
+        assert plan.promoted == 0
+        assert plan.survivors == 2
+        assert plan.migrated_bytes > 0
+
+    def test_mode_none_declines(self):
+        plan = ReschedulePolicy(mode=MODE_NONE).plan_suspect(**self.kwargs())
+        assert plan.promoted == 0
+        assert plan.survivors == 2
+        assert plan.migration_pause_s == 0.0
+
+    def test_never_kills_the_last_worker_on_a_suspicion(self):
+        plan = ReschedulePolicy(mode=MODE_SPREAD).plan_suspect(
+            **self.kwargs(active=1)
+        )
+        assert plan.survivors == 1
+        assert not plan.fatal
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            ReschedulePolicy().plan_suspect(**self.kwargs(active=0))
 
 
 class TestPlanValidation:
